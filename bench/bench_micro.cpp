@@ -1,0 +1,120 @@
+// E9: google-benchmark micro-kernels for the substrates the pipeline is
+// built on: MOCUS vs BDD cutset generation, BDD exact probability,
+// uniformised transient analysis, product-chain construction, and the
+// per-cutset model build.
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/ft_bdd.hpp"
+#include "core/mcs_model.hpp"
+#include "ctmc/transient.hpp"
+#include "ctmc/triggered.hpp"
+#include "gen/bwr.hpp"
+#include "gen/industrial.hpp"
+#include "mcs/mocus.hpp"
+#include "product/product_ctmc.hpp"
+
+namespace {
+
+using namespace sdft;
+
+const fault_tree& bwr_static() {
+  static const fault_tree ft = make_bwr_model({}).structure();
+  return ft;
+}
+
+const sd_fault_tree& bwr_dynamic() {
+  static const sd_fault_tree tree = [] {
+    bwr_options opts;
+    opts.dynamic_events = true;
+    opts.repair_rate = 0.01;
+    return make_bwr_model(with_bwr_triggers(opts, bwr_num_triggers));
+  }();
+  return tree;
+}
+
+void bm_mocus_bwr(benchmark::State& state) {
+  mocus_options opts;
+  opts.cutoff = 1e-15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mocus(bwr_static(), opts).cutsets.size());
+  }
+}
+BENCHMARK(bm_mocus_bwr)->Unit(benchmark::kMillisecond);
+
+void bm_bdd_compile_bwr(benchmark::State& state) {
+  for (auto _ : state) {
+    const ft_bdd compiled(bwr_static());
+    benchmark::DoNotOptimize(compiled.node_count());
+  }
+}
+BENCHMARK(bm_bdd_compile_bwr)->Unit(benchmark::kMillisecond);
+
+void bm_bdd_exact_probability(benchmark::State& state) {
+  for (auto _ : state) {
+    const ft_bdd compiled(bwr_static());
+    benchmark::DoNotOptimize(compiled.probability());
+  }
+}
+BENCHMARK(bm_bdd_exact_probability)->Unit(benchmark::kMillisecond);
+
+void bm_bdd_cutsets_bwr(benchmark::State& state) {
+  const ft_bdd compiled(bwr_static());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.minimal_cutsets().size());
+  }
+}
+BENCHMARK(bm_bdd_cutsets_bwr)->Unit(benchmark::kMillisecond);
+
+void bm_transient_erlang(benchmark::State& state) {
+  const int phases = static_cast<int>(state.range(0));
+  const ctmc chain = make_erlang_active(phases, 1e-3, 1e-2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reach_failed_probability(chain, 24.0));
+  }
+}
+BENCHMARK(bm_transient_erlang)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void bm_product_chain_mcs(benchmark::State& state) {
+  // A representative dynamic cutset of the fully dynamic BWR model:
+  // both RHR running-failures plus the triggered FEED&BLEED injection.
+  const sd_fault_tree& tree = bwr_dynamic();
+  const cutset c{tree.structure().find("IE_TRANSIENT"),
+                 tree.structure().find("RHR_T1_FIO"),
+                 tree.structure().find("RHR_T2_FIO"),
+                 tree.structure().find("FB_FIO")};
+  for (auto _ : state) {
+    const mcs_model model = build_mcs_model(tree, c);
+    benchmark::DoNotOptimize(
+        build_product_ctmc(model.tree).num_states());
+  }
+}
+BENCHMARK(bm_product_chain_mcs)->Unit(benchmark::kMicrosecond);
+
+void bm_quantify_mcs(benchmark::State& state) {
+  const sd_fault_tree& tree = bwr_dynamic();
+  const cutset c{tree.structure().find("IE_TRANSIENT"),
+                 tree.structure().find("RHR_T1_FIO"),
+                 tree.structure().find("RHR_T2_FIO"),
+                 tree.structure().find("FB_FIO")};
+  const mcs_model model = build_mcs_model(tree, c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantify_mcs_model(model, 24.0));
+  }
+}
+BENCHMARK(bm_quantify_mcs)->Unit(benchmark::kMicrosecond);
+
+void bm_generate_industrial(benchmark::State& state) {
+  industrial_options opts;
+  opts.num_frontline_systems = 12;
+  opts.num_initiating_events = 8;
+  opts.sequences_per_ie = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_industrial(opts).ft.size());
+  }
+}
+BENCHMARK(bm_generate_industrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

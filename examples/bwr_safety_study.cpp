@@ -1,0 +1,70 @@
+// The fictive boiling-water-reactor safety study of the paper's §VI-A:
+// five cooling-related systems (ECC, EFW, RHR + the CCW and SWS support
+// chain), two pump trains each, FEED&BLEED recovery, enriched step by step
+// with repairs and trigger dependencies.
+
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "gen/bwr.hpp"
+#include "mcs/mocus.hpp"
+#include "sdft/classify.hpp"
+#include "sdft/translate.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sdft;
+
+  // The legacy static study ("no timing").
+  const sd_fault_tree static_model = make_bwr_model({});
+  const auto& ft = static_model.structure();
+  mocus_options mopts;
+  mopts.cutoff = 1e-15;
+  const mocus_result static_mcs = mocus(ft, mopts);
+  std::printf("model: %zu basic events, %zu gates, %zu minimal cutsets\n",
+              ft.num_basic_events(), ft.num_gates(),
+              static_mcs.cutsets.size());
+  std::printf("static core damage frequency (rare-event): %s\n\n",
+              sci(rare_event_probability(ft, static_mcs.cutsets)).c_str());
+
+  // Dynamic enrichment: repairable pumps, then the trigger chain of the
+  // paper's table, cumulatively.
+  text_table table({"setting", "failure freq.", "dyn. MCSs", "time"});
+  const char* labels[] = {"+FEED&BLEED trigger", "+RHR trigger",
+                          "+EFW trigger",        "+ECC trigger",
+                          "+SWS trigger",        "+CCW trigger"};
+  analysis_options aopts;
+  aopts.horizon = 24.0;
+  aopts.cutoff = 1e-15;
+  aopts.keep_cutset_details = false;
+
+  for (int triggers = 0; triggers <= bwr_num_triggers; ++triggers) {
+    bwr_options opts;
+    opts.dynamic_events = true;
+    opts.repair_rate = 1.0 / 100.0;
+    opts = with_bwr_triggers(opts, triggers);
+    const sd_fault_tree model = make_bwr_model(opts);
+    const analysis_result result = analyze(model, aopts);
+    table.add_row(
+        {triggers == 0 ? "repair rate 1/100h" : labels[triggers - 1],
+         sci(result.failure_probability),
+         std::to_string(result.num_dynamic_cutsets),
+         duration_str(result.total_seconds)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Show the triggering structure of the fully dynamic model.
+  bwr_options full;
+  full.dynamic_events = true;
+  full.repair_rate = 0.01;
+  full = with_bwr_triggers(full, bwr_num_triggers);
+  const sd_fault_tree model = make_bwr_model(full);
+  std::printf("trigger gates of the fully dynamic model:\n");
+  for (const auto& entry : analyze_triggers(model).gates) {
+    std::printf("  %-10s -> %zu event(s), class=%s\n",
+                model.structure().node(entry.gate).name.c_str(),
+                model.triggered_events(entry.gate).size(),
+                to_string(entry.cls).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Emergency cooling with sequential redundancy: how static analysis
+// overestimates risk for long mission times (the paper's motivating
+// scenario from §I).
+//
+// A cooled-and-stable state must be maintained for up to a week. The
+// cooling function has three redundant pump trains used *sequentially*:
+// train 2 starts when train 1 fails, train 3 when train 2 fails. Each pump
+// can fail to start (static, per demand) and fail in operation
+// (dynamic, repairable while running).
+//
+// A legacy static study has to assume all three pumps run for the whole
+// mission ("the pumps work all the time and no repairs are possible",
+// paper §I); the SD analysis uses the sequence and the repairs.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "ctmc/triggered.hpp"
+#include "ft/fault_tree.hpp"
+#include "mcs/mocus.hpp"
+#include "sdft/classify.hpp"
+#include "sdft/sd_fault_tree.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr double fts = 2e-3;          // failure to start, per demand
+constexpr double fio_rate = 8e-4;     // failure in operation, per hour
+constexpr double repair_rate = 5e-2;  // 20 h mean time to repair
+
+/// Static variant: fail-in-operation becomes 1 - e^{-lambda t}.
+sdft::fault_tree static_study(double horizon) {
+  using namespace sdft;
+  fault_tree ft;
+  const double p_fio = 1.0 - std::exp(-fio_rate * horizon);
+  std::vector<node_index> trains;
+  for (int i = 1; i <= 3; ++i) {
+    const std::string t = std::to_string(i);
+    const node_index start = ft.add_basic_event("P" + t + "_FTS", fts);
+    const node_index run = ft.add_basic_event("P" + t + "_FIO", p_fio);
+    trains.push_back(
+        ft.add_gate("TRAIN" + t, gate_type::or_gate, {start, run}));
+  }
+  ft.set_top(ft.add_gate("COOLING", gate_type::and_gate, trains));
+  return ft;
+}
+
+/// SD variant: train i+1's running failure is triggered by train i's gate.
+sdft::sd_fault_tree sd_study() {
+  using namespace sdft;
+  sd_fault_tree tree;
+  std::vector<node_index> trains;
+  node_index previous = fault_tree::npos;
+  for (int i = 1; i <= 3; ++i) {
+    const std::string t = std::to_string(i);
+    const node_index start = tree.add_static_event("P" + t + "_FTS", fts);
+    node_index run;
+    if (previous == fault_tree::npos) {
+      run = tree.add_dynamic_event(
+          "P" + t + "_FIO", make_erlang_active(1, fio_rate, repair_rate));
+    } else {
+      run = tree.add_dynamic_event(
+          "P" + t + "_FIO",
+          make_erlang_triggered(1, fio_rate, repair_rate,
+                                /*passive_factor=*/100.0));
+    }
+    const node_index train =
+        tree.add_gate("TRAIN" + t, gate_type::or_gate, {start, run});
+    if (previous != fault_tree::npos) tree.set_trigger(previous, run);
+    previous = train;
+    trains.push_back(train);
+  }
+  tree.set_top(tree.add_gate("COOLING", gate_type::and_gate, trains));
+  tree.validate();
+  return tree;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdft;
+
+  const sd_fault_tree tree = sd_study();
+  const trigger_report report = analyze_triggers(tree);
+  std::printf("trigger gates: %zu, all efficient: %s\n\n",
+              report.gates.size(), report.efficient ? "yes" : "no");
+  for (const auto& entry : report.gates) {
+    std::printf("  %-8s class=%s uniform=%s\n",
+                tree.structure().node(entry.gate).name.c_str(),
+                to_string(entry.cls).c_str(),
+                entry.uniform_triggering ? "yes" : "no");
+  }
+
+  text_table table(
+      {"mission", "static p_rea", "SD p_rea", "conservatism factor"});
+  for (double horizon : {24.0, 72.0, 168.0}) {
+    const fault_tree legacy = static_study(horizon);
+    const double p_static =
+        rare_event_probability(legacy, mocus(legacy).cutsets);
+
+    analysis_options opts;
+    opts.horizon = horizon;
+    const double p_sd = analyze(tree, opts).failure_probability;
+    char factor[32];
+    std::snprintf(factor, sizeof factor, "%.1fx", p_static / p_sd);
+    table.add_row({std::to_string(static_cast<int>(horizon)) + "h",
+                   sci(p_static), sci(p_sd), factor});
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf(
+      "The static study's conservatism grows with the mission time: it\n"
+      "charges every train for the full horizon, while the SD analysis\n"
+      "lets standby trains age slowly and repaired trains return.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Industrial-scale run: generate a synthetic PSA study (the stand-in for
+// the paper's proprietary §VI-B plant models), rank events by
+// Fussell-Vesely importance, enrich the top slice with dynamic behaviour
+// and trigger chains, and run the full SD analysis pipeline.
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/analyzer.hpp"
+#include "gen/industrial.hpp"
+#include "mcs/importance.hpp"
+#include "mcs/mocus.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdft;
+
+  industrial_options gopts;
+  gopts.seed = 2015;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      // Paper-order sizing (§VI-B Model 1 territory); takes much longer.
+      gopts.num_frontline_systems = 60;
+      gopts.num_support_systems = 12;
+      gopts.num_initiating_events = 30;
+      gopts.sequences_per_ie = 10;
+      gopts.components_per_train = 8;
+    }
+  }
+
+  stopwatch timer;
+  const industrial_model model = generate_industrial(gopts);
+  std::printf("generated: %zu basic events, %zu gates (%.1fs)\n",
+              model.ft.num_basic_events(), model.ft.num_gates(),
+              timer.seconds());
+
+  timer.reset();
+  mocus_options mopts;
+  mopts.cutoff = 1e-15;
+  const mocus_result mcs = mocus(model.ft, mopts);
+  std::printf("minimal cutsets above 1e-15: %zu (%.1fs, %zu partials)\n",
+              mcs.cutsets.size(), mcs.seconds, mcs.partials_processed);
+  std::printf("static frequency: %s\n\n",
+              sci(rare_event_probability(model.ft, mcs.cutsets)).c_str());
+
+  const auto ranked = rank_by_fussell_vesely(model.ft, mcs.cutsets);
+
+  text_table table({"% dyn. FIO", "failure freq.", "dyn. MCS",
+                    "mean dyn. events", "analysis time"});
+  for (double fraction : {0.1, 0.3, 0.5, 1.0}) {
+    annotation_options aopts;
+    aopts.dynamic_fraction = fraction;
+    aopts.trigger_fraction = 0.1;
+    const sd_fault_tree tree = annotate_dynamic(model, ranked, aopts);
+
+    analysis_options opts;
+    opts.horizon = 24.0;
+    opts.cutoff = 1e-15;
+    opts.keep_cutset_details = false;
+    const analysis_result result = analyze(tree, opts);
+    char mean[32];
+    std::snprintf(mean, sizeof mean, "%.2f", result.mean_dynamic_events);
+    table.add_row({std::to_string(static_cast<int>(fraction * 100)),
+                   sci(result.failure_probability),
+                   std::to_string(result.num_dynamic_cutsets), mean,
+                   duration_str(result.total_seconds)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Dynamic modelling of the most important events lowers the computed\n"
+      "frequency; the per-cutset Markov chains stay small, so the\n"
+      "quantification scales with the cutset list, not the state space.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "bdd/ft_bdd.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+ft_bdd::ft_bdd(const fault_tree& ft, node_index root) : ft_(ft) {
+  if (root == fault_tree::npos) root = ft.top();
+  require_model(root != fault_tree::npos && root < ft.size(),
+                "ft_bdd: no root node");
+
+  // Assign variables in DFS-from-root discovery order.
+  const std::function<void(node_index)> assign = [&](node_index n) {
+    if (ft_.is_basic(n)) {
+      if (event_to_var_.emplace(n, var_to_event_.size()).second) {
+        var_to_event_.push_back(n);
+      }
+      return;
+    }
+    for (node_index child : ft_.node(n).inputs) assign(child);
+  };
+  assign(root);
+
+  // Compile bottom-up with memoisation over shared gates.
+  std::unordered_map<node_index, bdd_ref> memo;
+  const std::function<bdd_ref(node_index)> compile =
+      [&](node_index n) -> bdd_ref {
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    bdd_ref ref;
+    if (ft_.is_basic(n)) {
+      ref = manager_.var(event_to_var_.at(n));
+    } else {
+      const auto& gate = ft_.node(n);
+      const bool is_and = gate.type == gate_type::and_gate;
+      ref = is_and ? manager_.one() : manager_.zero();
+      for (node_index child : gate.inputs) {
+        const bdd_ref c = compile(child);
+        ref = is_and ? manager_.bdd_and(ref, c) : manager_.bdd_or(ref, c);
+      }
+    }
+    memo.emplace(n, ref);
+    return ref;
+  };
+  root_ref_ = compile(root);
+}
+
+double ft_bdd::probability() const {
+  return probability({});
+}
+
+double ft_bdd::probability(
+    const std::unordered_map<node_index, double>& overrides) const {
+  std::vector<double> probs(var_to_event_.size(), 0.0);
+  for (std::uint32_t v = 0; v < var_to_event_.size(); ++v) {
+    const node_index b = var_to_event_[v];
+    auto it = overrides.find(b);
+    probs[v] = it != overrides.end() ? it->second : ft_.node(b).probability;
+  }
+  return manager_.probability(root_ref_, probs);
+}
+
+std::vector<cutset> ft_bdd::minimal_cutsets() const {
+  const bdd_ref minsol = manager_.minimal_solutions(root_ref_);
+  std::vector<cutset> out;
+  for (const auto& product : manager_.enumerate_products(minsol)) {
+    cutset c;
+    c.reserve(product.size());
+    for (std::uint32_t v : product) c.push_back(var_to_event_[v]);
+    std::sort(c.begin(), c.end());
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const cutset& a, const cutset& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  });
+  return out;
+}
+
+}  // namespace sdft

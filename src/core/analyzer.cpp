@@ -1,0 +1,146 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "mcs/mocus.hpp"
+#include "sdft/translate.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sdft {
+
+namespace {
+
+/// Quantifies one cutset (already mapped to original-tree indices).
+cutset_result quantify_cutset(const sd_fault_tree& tree, cutset c,
+                              const static_translation& translation,
+                              const analysis_options& options) {
+  const stopwatch timer;
+  cutset_result out;
+  out.events = std::move(c);
+
+  bool has_dynamic = false;
+  for (node_index b : out.events) {
+    if (tree.is_dynamic(b)) has_dynamic = true;
+  }
+
+  if (!has_dynamic) {
+    double p = 1.0;
+    for (node_index b : out.events) {
+      p *= tree.structure().node(b).probability;
+    }
+    out.probability = p;
+    out.seconds = timer.seconds();
+    return out;
+  }
+
+  out.dynamic = true;
+  try {
+    const mcs_model model = build_mcs_model(tree, out.events, options.mode);
+    out.num_dynamic = model.cutset_dynamic.size();
+    out.num_added_dynamic = model.added_dynamic.size();
+    out.probability =
+        quantify_mcs_model(model, options.horizon, options.epsilon,
+                           options.max_product_states, &out.chain_states);
+  } catch (const error& e) {
+    // Conservative fallback: the FT-bar product of worst-case
+    // probabilities bounds p-tilde(C) from above (paper eq. (1)).
+    out.error = e.what();
+    double p = 1.0;
+    for (node_index b : out.events) {
+      if (tree.is_dynamic(b)) {
+        p *= translation.worst_case.at(b);
+      } else {
+        p *= tree.structure().node(b).probability;
+      }
+    }
+    out.probability = p;
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace
+
+analysis_result analyze(const sd_fault_tree& tree,
+                        const analysis_options& options) {
+  const stopwatch total_timer;
+  analysis_result result;
+
+  // Stage 1: FT-bar with worst-case probabilities (paper §V-B).
+  stopwatch stage_timer;
+  const static_translation translation =
+      translate_to_static(tree, options.horizon, options.epsilon,
+                          options.reference_cutoff);
+  result.translate_seconds = stage_timer.seconds();
+
+  // Stage 2: relevant minimal cutsets via MOCUS (paper §V-B).
+  stage_timer.reset();
+  mocus_options mopts;
+  mopts.cutoff = options.cutoff;
+  const mocus_result mcs = mocus(translation.ft_bar, mopts);
+  result.mcs_seconds = stage_timer.seconds();
+  result.mocus_partials = mcs.partials_processed;
+  result.mocus_discarded = mcs.cutoff_discarded;
+  result.num_cutsets = mcs.cutsets.size();
+
+  // Map cutsets back to original-tree indices.
+  std::vector<cutset> cutsets;
+  cutsets.reserve(mcs.cutsets.size());
+  for (const cutset& c : mcs.cutsets) {
+    cutset mapped;
+    mapped.reserve(c.size());
+    for (node_index b : c) mapped.push_back(translation.to_sd.at(b));
+    std::sort(mapped.begin(), mapped.end());
+    cutsets.push_back(std::move(mapped));
+  }
+
+  // Stage 3: per-cutset quantification, in parallel (paper §V-C).
+  stage_timer.reset();
+  std::vector<cutset_result> quantified(cutsets.size());
+  {
+    thread_pool pool(options.threads);
+    parallel_for(pool, cutsets.size(), [&](std::size_t i) {
+      quantified[i] =
+          quantify_cutset(tree, std::move(cutsets[i]), translation, options);
+    });
+  }
+  result.quantify_seconds = stage_timer.seconds();
+
+  // Stage 4: rare-event sum over relevant cutsets plus statistics.
+  std::size_t dynamic_events_total = 0;
+  std::size_t added_dynamic_total = 0;
+  for (auto& q : quantified) {
+    if (options.cutoff > 0.0 && q.probability <= options.cutoff) continue;
+    result.failure_probability += q.probability;
+  }
+  for (auto& q : quantified) {
+    if (!q.dynamic) continue;
+    ++result.num_dynamic_cutsets;
+    const std::size_t events = q.num_dynamic + q.num_added_dynamic;
+    if (result.dynamic_events_histogram.size() <= events) {
+      result.dynamic_events_histogram.resize(events + 1, 0);
+    }
+    ++result.dynamic_events_histogram[events];
+    dynamic_events_total += events;
+    added_dynamic_total += q.num_added_dynamic;
+  }
+  if (result.num_dynamic_cutsets > 0) {
+    result.mean_dynamic_events =
+        static_cast<double>(dynamic_events_total) /
+        static_cast<double>(result.num_dynamic_cutsets);
+    result.mean_added_dynamic_events =
+        static_cast<double>(added_dynamic_total) /
+        static_cast<double>(result.num_dynamic_cutsets);
+  }
+  if (options.keep_cutset_details) {
+    result.cutsets = std::move(quantified);
+  }
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace sdft

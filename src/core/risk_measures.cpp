@@ -1,0 +1,97 @@
+#include "core/risk_measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/sorted_set.hpp"
+
+namespace sdft {
+
+std::unordered_map<node_index, double> fussell_vesely_sd(
+    const sd_fault_tree& tree, const analysis_result& result) {
+  require_model(!result.cutsets.empty() || result.num_cutsets == 0,
+                "fussell_vesely_sd: analysis was run without cutset details");
+  std::unordered_map<node_index, double> with;
+  double total = 0.0;
+  for (const auto& q : result.cutsets) {
+    total += q.probability;
+    for (node_index b : q.events) with[b] += q.probability;
+  }
+  std::unordered_map<node_index, double> out;
+  for (node_index b : tree.structure().basic_events()) {
+    auto it = with.find(b);
+    out[b] = (it != with.end() && total > 0.0) ? it->second / total : 0.0;
+  }
+  return out;
+}
+
+double risk_without_event(const analysis_result& result, node_index event) {
+  double total = 0.0;
+  for (const auto& q : result.cutsets) {
+    if (!sorted_set::contains(q.events, event)) total += q.probability;
+  }
+  return total;
+}
+
+uncertainty_result uncertainty_analysis(const analysis_result& result,
+                                        const uncertainty_options& options) {
+  require_model(options.samples > 0,
+                "uncertainty_analysis: need at least one sample");
+  require_model(options.error_factor >= 1.0,
+                "uncertainty_analysis: error factor must be >= 1");
+  require_model(!result.cutsets.empty() || result.num_cutsets == 0,
+                "uncertainty_analysis: analysis was run without details");
+
+  // Lognormal with median 1 and EF = p95/median: sigma = ln(EF) / z95.
+  const double sigma = std::log(options.error_factor) / 1.6448536269514722;
+
+  // Collect the events appearing in cutsets; each gets one multiplier per
+  // sample (fully correlated across the cutsets it appears in, as in PSA
+  // practice for a single data entry).
+  std::vector<node_index> events;
+  for (const auto& q : result.cutsets) {
+    for (node_index b : q.events) events.push_back(b);
+  }
+  sorted_set::normalize(events);
+  std::unordered_map<node_index, std::size_t> position;
+  for (std::size_t i = 0; i < events.size(); ++i) position[events[i]] = i;
+
+  rng random(options.seed);
+  uncertainty_result out;
+  out.point_estimate = result.failure_probability;
+  out.samples.reserve(options.samples);
+  std::vector<double> multiplier(events.size());
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    for (double& m : multiplier) {
+      // Box-Muller normal deviate -> lognormal multiplier with median 1.
+      const double u1 = random.uniform();
+      const double u2 = random.uniform();
+      const double z =
+          std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(6.283185307179586 * u2);
+      m = std::exp(sigma * z);
+    }
+    double total = 0.0;
+    for (const auto& q : result.cutsets) {
+      double p = q.probability;
+      for (node_index b : q.events) p *= multiplier[position[b]];
+      total += std::min(p, 1.0);
+    }
+    out.samples.push_back(total);
+    out.mean += total;
+  }
+  out.mean /= static_cast<double>(options.samples);
+  std::sort(out.samples.begin(), out.samples.end());
+  const auto at = [&](double quantile) {
+    const auto idx = static_cast<std::size_t>(
+        quantile * static_cast<double>(out.samples.size() - 1));
+    return out.samples[idx];
+  };
+  out.median = at(0.5);
+  out.p05 = at(0.05);
+  out.p95 = at(0.95);
+  return out;
+}
+
+}  // namespace sdft

@@ -1,0 +1,98 @@
+#include "ctmc/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+ctmc::ctmc(std::size_t num_states)
+    : rows_(num_states), initial_(num_states, 0.0), failed_(num_states, 0) {}
+
+state_index ctmc::add_state() {
+  rows_.emplace_back();
+  initial_.push_back(0.0);
+  failed_.push_back(0);
+  return static_cast<state_index>(rows_.size() - 1);
+}
+
+void ctmc::add_rate(state_index from, state_index to, double rate) {
+  require_model(from < rows_.size() && to < rows_.size(),
+                "ctmc: transition endpoint out of range");
+  require_model(from != to, "ctmc: self-loop rates are not allowed");
+  require_model(rate >= 0.0 && std::isfinite(rate),
+                "ctmc: rate must be finite and non-negative");
+  if (rate == 0.0) return;
+  for (auto& [target, r] : rows_[from]) {
+    if (target == to) {
+      r += rate;
+      return;
+    }
+  }
+  rows_[from].emplace_back(to, rate);
+}
+
+void ctmc::set_initial(state_index state, double p) {
+  require_model(state < rows_.size(), "ctmc: state out of range");
+  require_model(p >= 0.0 && p <= 1.0, "ctmc: initial probability not in [0,1]");
+  initial_[state] = p;
+}
+
+void ctmc::set_failed(state_index state, bool failed) {
+  require_model(state < rows_.size(), "ctmc: state out of range");
+  failed_[state] = failed ? 1 : 0;
+}
+
+double ctmc::exit_rate(state_index state) const {
+  double total = 0.0;
+  for (const auto& [target, rate] : rows_[state]) total += rate;
+  return total;
+}
+
+double ctmc::max_exit_rate() const {
+  double best = 0.0;
+  for (state_index s = 0; s < rows_.size(); ++s) {
+    best = std::max(best, exit_rate(s));
+  }
+  return best;
+}
+
+double ctmc::initial_mass() const {
+  double total = 0.0;
+  for (double p : initial_) total += p;
+  return total;
+}
+
+std::vector<state_index> ctmc::failed_states() const {
+  std::vector<state_index> out;
+  for (state_index s = 0; s < failed_.size(); ++s) {
+    if (failed_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+void ctmc::validate() const {
+  require_model(num_states() > 0, "ctmc: chain has no states");
+  require_model(std::abs(initial_mass() - 1.0) < 1e-9,
+                "ctmc: initial distribution does not sum to 1");
+}
+
+ctmc make_repairable(double failure_rate, double repair_rate) {
+  ctmc chain(2);
+  chain.set_initial(0, 1.0);
+  chain.set_failed(1);
+  chain.add_rate(0, 1, failure_rate);
+  chain.add_rate(1, 0, repair_rate);
+  return chain;
+}
+
+ctmc make_static_event(double p) {
+  ctmc chain(2);
+  chain.set_initial(0, 1.0 - p);
+  chain.set_initial(1, p);
+  chain.set_failed(1);
+  return chain;
+}
+
+}  // namespace sdft

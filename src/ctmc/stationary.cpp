@@ -1,0 +1,130 @@
+#include "ctmc/stationary.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+std::vector<double> stationary_distribution(const ctmc& chain,
+                                            double tolerance,
+                                            std::size_t max_iterations) {
+  chain.validate();
+  const std::size_t n = chain.num_states();
+  const double q = chain.max_exit_rate() * 1.02 + 1e-12;
+
+  // Power iteration v <- v P with P = I + R/q, from the uniform
+  // distribution (any strictly positive start works for irreducible
+  // chains and makes the result independent of chain.initial()).
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    for (std::size_t s = 0; s < n; ++s) {
+      next[s] = v[s] * (1.0 - chain.exit_rate(s) / q);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const auto& [to, rate] : chain.transitions_from(s)) {
+        next[to] += v[s] * rate / q;
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) delta += std::abs(next[s] - v[s]);
+    v.swap(next);
+    if (delta < tolerance) return v;
+  }
+  throw numeric_error(
+      "stationary_distribution: power iteration did not converge "
+      "(is the chain irreducible?)");
+}
+
+double asymptotic_unavailability(const ctmc& chain, double tolerance) {
+  const auto pi = stationary_distribution(chain, tolerance);
+  double mass = 0.0;
+  for (state_index s = 0; s < chain.num_states(); ++s) {
+    if (chain.failed(s)) mass += pi[s];
+  }
+  return mass;
+}
+
+double mean_time_to_failure(const ctmc& chain, double tolerance,
+                            std::size_t max_iterations) {
+  chain.validate();
+  const std::size_t n = chain.num_states();
+  const auto failed = chain.failed_states();
+  require_model(!failed.empty(), "mean_time_to_failure: no failed states");
+
+  // Backward reachability of F: states that cannot reach F have infinite
+  // hitting time.
+  std::vector<char> can_reach(n, 0);
+  for (state_index f : failed) can_reach[f] = 1;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (state_index s = 0; s < n; ++s) {
+      if (can_reach[s]) continue;
+      for (const auto& [to, rate] : chain.transitions_from(s)) {
+        if (rate > 0.0 && can_reach[to]) {
+          can_reach[s] = 1;
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  // Forward reachability from the initial support: the hitting time is
+  // finite iff every reachable state can still reach F (finite chains hit
+  // F almost surely exactly in that case).
+  std::vector<char> reachable(n, 0);
+  std::vector<state_index> stack;
+  for (state_index s = 0; s < n; ++s) {
+    if (chain.initial(s) > 0.0) {
+      reachable[s] = 1;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const state_index s = stack.back();
+    stack.pop_back();
+    if (!can_reach[s]) return std::numeric_limits<double>::infinity();
+    if (chain.failed(s)) continue;  // absorbed for this purpose
+    for (const auto& [to, rate] : chain.transitions_from(s)) {
+      if (rate > 0.0 && !reachable[to]) {
+        reachable[to] = 1;
+        stack.push_back(to);
+      }
+    }
+  }
+
+  // Gauss-Seidel on exit(s) h(s) = 1 + sum_{s'} R(s, s') h(s'), h|F = 0.
+  std::vector<char> is_failed(n, 0);
+  for (state_index f : failed) is_failed[f] = 1;
+  std::vector<double> h(n, 0.0);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    double delta = 0.0;
+    for (state_index s = 0; s < n; ++s) {
+      if (is_failed[s] || !can_reach[s]) continue;
+      const double exit = chain.exit_rate(s);
+      require_model(exit > 0.0,
+                    "mean_time_to_failure: state with no outgoing rate "
+                    "claims to reach failure");
+      double sum = 1.0;
+      for (const auto& [to, rate] : chain.transitions_from(s)) {
+        if (can_reach[to] && !is_failed[to]) sum += rate * h[to];
+      }
+      const double updated = sum / exit;
+      delta += std::abs(updated - h[s]);
+      h[s] = updated;
+    }
+    if (delta < tolerance * (1.0 + std::abs(h[0]))) {
+      double mttf = 0.0;
+      for (state_index s = 0; s < n; ++s) {
+        if (chain.initial(s) > 0.0) mttf += chain.initial(s) * h[s];
+      }
+      return mttf;
+    }
+  }
+  throw numeric_error("mean_time_to_failure: solver did not converge");
+}
+
+}  // namespace sdft

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace sdft {
+
+/// Long-run (stationary) distribution of an irreducible CTMC by power
+/// iteration on the uniformised DTMC. Throws numeric_error if the
+/// iteration does not converge within `max_iterations` (e.g. because the
+/// chain is reducible and the limit depends on the initial distribution —
+/// use transient analysis for such chains).
+std::vector<double> stationary_distribution(const ctmc& chain,
+                                            double tolerance = 1e-12,
+                                            std::size_t max_iterations =
+                                                1'000'000);
+
+/// Long-run unavailability: stationary probability mass on failed states.
+/// The classic repairable-component measure lambda/(lambda+mu) generalises
+/// to arbitrary repairable chains.
+double asymptotic_unavailability(const ctmc& chain, double tolerance = 1e-12);
+
+/// Mean time to first failure from the initial distribution: the expected
+/// hitting time of the failed states. Returns +infinity if failure is not
+/// reachable from some initially supported state. Solved by Gauss-Seidel
+/// on the hitting-time equations exit(s) h(s) = 1 + sum R(s,s') h(s').
+double mean_time_to_failure(const ctmc& chain, double tolerance = 1e-12,
+                            std::size_t max_iterations = 1'000'000);
+
+}  // namespace sdft

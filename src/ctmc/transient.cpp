@@ -1,0 +1,117 @@
+#include "ctmc/transient.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/fox_glynn.hpp"
+
+namespace sdft {
+
+namespace {
+
+/// Compressed sparse rows of the uniformised DTMC P = I + R/q, with the
+/// option to make a set of states absorbing (their row becomes the unit
+/// vector, i.e. only the implicit diagonal remains).
+struct uniformised_dtmc {
+  std::size_t n;
+  double q;
+  std::vector<std::size_t> row_start;    // size n+1
+  std::vector<state_index> col;          // off-diagonal targets
+  std::vector<double> value;             // off-diagonal probabilities
+  std::vector<double> diagonal;          // P(s, s)
+
+  uniformised_dtmc(const ctmc& chain, const std::vector<char>& absorbing) {
+    n = chain.num_states();
+    // Slightly inflate q so no diagonal entry is exactly 0; aperiodicity
+    // improves uniformisation convergence.
+    q = chain.max_exit_rate() * 1.02 + 1e-12;
+    row_start.assign(n + 1, 0);
+    diagonal.assign(n, 1.0);
+    for (state_index s = 0; s < n; ++s) {
+      row_start[s] = col.size();
+      if (absorbing[s]) continue;
+      double exit = 0.0;
+      for (const auto& [target, rate] : chain.transitions_from(s)) {
+        col.push_back(target);
+        value.push_back(rate / q);
+        exit += rate;
+      }
+      diagonal[s] = 1.0 - exit / q;
+    }
+    row_start[n] = col.size();
+  }
+
+  /// out = in * P (distribution-vector times matrix).
+  void step(const std::vector<double>& in, std::vector<double>& out) const {
+    for (std::size_t s = 0; s < n; ++s) out[s] = in[s] * diagonal[s];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double mass = in[s];
+      if (mass == 0.0) continue;
+      for (std::size_t k = row_start[s]; k < row_start[s + 1]; ++k) {
+        out[col[k]] += mass * value[k];
+      }
+    }
+  }
+};
+
+std::vector<double> transient_impl(const ctmc& chain,
+                                   const std::vector<char>& absorbing,
+                                   double t, double epsilon) {
+  require_model(t >= 0.0 && std::isfinite(t),
+                "transient analysis requires a finite horizon t >= 0");
+  chain.validate();
+
+  const std::size_t n = chain.num_states();
+  std::vector<double> current(n);
+  for (state_index s = 0; s < n; ++s) current[s] = chain.initial(s);
+  if (t == 0.0) return current;
+
+  const uniformised_dtmc dtmc(chain, absorbing);
+  if (dtmc.q * t < 1e-300) return current;
+
+  const poisson_window window = fox_glynn(dtmc.q * t, epsilon);
+
+  std::vector<double> result(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t k = 0; k <= window.right; ++k) {
+    if (k >= window.left) {
+      const double w = window.weight(k);
+      for (std::size_t s = 0; s < n; ++s) result[s] += w * current[s];
+    }
+    if (k < window.right) {
+      dtmc.step(current, next);
+      current.swap(next);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> transient_distribution(const ctmc& chain, double t,
+                                           double epsilon) {
+  const std::vector<char> none(chain.num_states(), 0);
+  return transient_impl(chain, none, t, epsilon);
+}
+
+double reach_probability(const ctmc& chain, const std::vector<char>& target,
+                         double t, double epsilon) {
+  require_model(target.size() == chain.num_states(),
+                "reach_probability: target flag vector has wrong size");
+  const auto dist = transient_impl(chain, target, t, epsilon);
+  double p = 0.0;
+  for (state_index s = 0; s < chain.num_states(); ++s) {
+    if (target[s]) p += dist[s];
+  }
+  return p;
+}
+
+double reach_failed_probability(const ctmc& chain, double t, double epsilon) {
+  std::vector<char> target(chain.num_states(), 0);
+  for (state_index s = 0; s < chain.num_states(); ++s) {
+    target[s] = chain.failed(s) ? 1 : 0;
+  }
+  return reach_probability(chain, target, t, epsilon);
+}
+
+}  // namespace sdft

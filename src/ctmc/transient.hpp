@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace sdft {
+
+/// Numerical accuracy for uniformisation (truncated Poisson tail mass).
+inline constexpr double default_transient_epsilon = 1e-10;
+
+/// Transient state distribution of `chain` at time `t >= 0` by
+/// uniformisation with Fox–Glynn Poisson weights.
+std::vector<double> transient_distribution(
+    const ctmc& chain, double t, double epsilon = default_transient_epsilon);
+
+/// Time-bounded reachability Pr[Reach<=t(F)] of the failed states of
+/// `chain` (paper §III-C2): failed states are made absorbing and the
+/// transient probability mass on them at time t is returned.
+double reach_failed_probability(const ctmc& chain, double t,
+                                double epsilon = default_transient_epsilon);
+
+/// As reach_failed_probability, but for an arbitrary target set given as
+/// per-state flags (size num_states).
+double reach_probability(const ctmc& chain, const std::vector<char>& target,
+                         double t,
+                         double epsilon = default_transient_epsilon);
+
+}  // namespace sdft

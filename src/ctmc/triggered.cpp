@@ -1,0 +1,102 @@
+#include "ctmc/triggered.hpp"
+
+#include "ctmc/transient.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+
+void triggered_ctmc::validate() const {
+  chain.validate();
+  const std::size_t n = chain.num_states();
+  require_model(on_state.size() == n && to_on.size() == n && to_off.size() == n,
+                "triggered_ctmc: partition/map vectors have wrong size");
+  for (state_index s = 0; s < n; ++s) {
+    if (on_state[s]) {
+      require_model(to_off[s] < n && !on_state[to_off[s]],
+                    "triggered_ctmc: off() must map S_on into S_off");
+    } else {
+      require_model(to_on[s] < n && on_state[to_on[s]],
+                    "triggered_ctmc: on() must map S_off into S_on");
+      require_model(!chain.failed(s),
+                    "triggered_ctmc: failed states must be switched on");
+      // Initial support must lie in S_off: nothing to check here for
+      // off-states; the on-state branch below enforces it.
+    }
+  }
+  for (state_index s = 0; s < n; ++s) {
+    if (on_state[s]) {
+      require_model(chain.initial(s) == 0.0,
+                    "triggered_ctmc: initial distribution must support S_off");
+    }
+  }
+}
+
+double worst_case_failure_probability(const triggered_ctmc& model, double t,
+                                      double epsilon) {
+  model.validate();
+  // Shift the initial distribution through on(.) and drop all switching:
+  // the event behaves as if demanded from time 0 for the whole horizon.
+  ctmc shifted = model.chain;
+  for (state_index s = 0; s < shifted.num_states(); ++s) {
+    const double p = model.chain.initial(s);
+    if (p == 0.0 || model.on_state[s]) continue;
+    shifted.set_initial(s, 0.0);
+    shifted.set_initial(model.to_on[s],
+                        shifted.initial(model.to_on[s]) + p);
+  }
+  return reach_failed_probability(shifted, t, epsilon);
+}
+
+ctmc make_erlang_active(int phases, double failure_rate, double repair_rate) {
+  require_model(phases >= 1, "erlang chain needs at least one phase");
+  const auto k = static_cast<state_index>(phases);
+  ctmc chain(k + 1);
+  chain.set_initial(0, 1.0);
+  chain.set_failed(k);
+  for (state_index i = 0; i < k; ++i) {
+    chain.add_rate(i, i + 1, failure_rate * phases);
+  }
+  if (repair_rate > 0.0) chain.add_rate(k, 0, repair_rate);
+  return chain;
+}
+
+triggered_ctmc make_erlang_triggered(int phases, double failure_rate,
+                                     double repair_rate,
+                                     double passive_factor) {
+  require_model(phases >= 1, "erlang chain needs at least one phase");
+  require_model(passive_factor >= 0.0,
+                "passive factor must be non-negative (0 = no passive aging)");
+  const auto k = static_cast<state_index>(phases);
+  // Active phases 0..k, passive mirrors k+1 .. 2k+1 (passive(i) = k+1+i).
+  const auto passive = [k](state_index i) { return k + 1 + i; };
+
+  triggered_ctmc model;
+  model.chain = ctmc(2 * (k + 1));
+  model.on_state.assign(2 * (k + 1), 0);
+  model.to_on.assign(2 * (k + 1), 0);
+  model.to_off.assign(2 * (k + 1), 0);
+
+  for (state_index i = 0; i <= k; ++i) {
+    model.on_state[i] = 1;
+    model.to_off[i] = passive(i);
+    model.to_on[passive(i)] = i;
+  }
+  model.chain.set_failed(k);
+  model.chain.set_initial(passive(0), 1.0);
+
+  for (state_index i = 0; i < k; ++i) {
+    model.chain.add_rate(i, i + 1, failure_rate * phases);
+    if (passive_factor > 0.0) {
+      model.chain.add_rate(passive(i), passive(i + 1),
+                           failure_rate * phases / passive_factor);
+    }
+  }
+  // Repair brings the equipment back to as-new, and only happens while the
+  // event is triggered (nobody repairs a standby failure they cannot see).
+  if (repair_rate > 0.0) model.chain.add_rate(k, 0, repair_rate);
+
+  model.validate();
+  return model;
+}
+
+}  // namespace sdft

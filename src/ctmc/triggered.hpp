@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace sdft {
+
+/// A triggered continuous-time Markov chain (paper §III-A): a CTMC whose
+/// state space is partitioned into switched-off and switched-on states,
+/// with total switching maps on: S_off -> S_on and off: S_on -> S_off.
+///
+/// Well-formedness (checked by validate()):
+///  - failed states are switched on (F subset of S_on),
+///  - the initial distribution supports only S_off,
+///  - to_on maps off-states to on-states, to_off maps on-states to
+///    off-states.
+struct triggered_ctmc {
+  ctmc chain;
+
+  /// Per-state flag: 1 if the state is in S_on.
+  std::vector<char> on_state;
+
+  /// to_on[s] is on(s) for s in S_off (entries for on-states are unused).
+  std::vector<state_index> to_on;
+
+  /// to_off[s] is off(s) for s in S_on (entries for off-states are unused).
+  std::vector<state_index> to_off;
+
+  void validate() const;
+};
+
+/// The worst-case probability that the event fails at least once within
+/// horizon `t` over all possible triggering patterns (paper §V-B2).
+///
+/// Computed for the pattern "triggered at time 0 and never untriggered":
+/// the initial distribution is shifted through on(.) and the chain is run
+/// without any further switching. This is exact for models where being
+/// switched on dominates being off (on-states fail at least as fast), which
+/// holds for all models in this code base (passive rates are scaled-down
+/// active rates, per the paper's §VI setup).
+double worst_case_failure_probability(const triggered_ctmc& model, double t,
+                                      double epsilon = 1e-10);
+
+/// Builds the Erlang-style triggered chain of the paper's §VI:
+/// k active phases 0..k-1 plus a failed phase k, degradation rate
+/// k*failure_rate between consecutive phases, repair from the failed phase
+/// back to phase 0 at `repair_rate`, plus mirror passive phases with
+/// degradation slowed by `passive_factor` (paper: 100) and no repair while
+/// passive. The chain starts passive in phase 0.
+///
+/// States 0..k are active (on) phases, states k+1..2k+1 are the passive
+/// mirrors of phases 0..k. Only active phase k is failed.
+triggered_ctmc make_erlang_triggered(int phases, double failure_rate,
+                                     double repair_rate,
+                                     double passive_factor = 100.0);
+
+/// The untriggered (always active) variant: k+1 states, Erlang degradation,
+/// repair from the failed phase to phase 0, starting in phase 0.
+ctmc make_erlang_active(int phases, double failure_rate, double repair_rate);
+
+}  // namespace sdft

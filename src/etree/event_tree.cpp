@@ -1,0 +1,216 @@
+#include "etree/event_tree.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "bdd/bdd.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+
+event_tree::event_tree(const fault_tree& ft, node_index initiating_event,
+                       std::string name)
+    : ft_(ft), initiating_(initiating_event), name_(std::move(name)) {
+  require_model(initiating_ < ft_.size() && ft_.is_basic(initiating_),
+                "event_tree: initiating event must be a basic event");
+}
+
+std::size_t event_tree::add_functional_event(std::string name,
+                                             node_index gate) {
+  require_model(gate < ft_.size() && ft_.is_gate(gate),
+                "event_tree: functional event must be backed by a gate");
+  functional_.push_back({std::move(name), gate});
+  return functional_.size() - 1;
+}
+
+std::size_t event_tree::add_sequence(std::vector<branch_outcome> outcomes,
+                                     std::string end_state) {
+  require_model(outcomes.size() == functional_.size(),
+                "event_tree: sequence must cover every functional event");
+  sequences_.push_back({std::move(outcomes), std::move(end_state)});
+  return sequences_.size() - 1;
+}
+
+void event_tree::validate() const {
+  require_model(!functional_.empty(), "event_tree: no functional events");
+  require_model(!sequences_.empty(), "event_tree: no sequences");
+  for (std::size_t a = 0; a < sequences_.size(); ++a) {
+    for (std::size_t b = a + 1; b < sequences_.size(); ++b) {
+      require_model(sequences_[a].outcomes != sequences_[b].outcomes,
+                    "event_tree: duplicate sequence outcomes");
+    }
+  }
+}
+
+namespace {
+
+/// Multi-root BDD compilation of the fault tree nodes an event tree
+/// references, sharing one variable order and one manager.
+class et_bdd {
+ public:
+  explicit et_bdd(const event_tree& et) : et_(et) {
+    assign_vars(et_.initiating_event());
+    for (std::size_t i = 0; i < et_.num_functional_events(); ++i) {
+      assign_vars(et_.functional_gate(i));
+    }
+  }
+
+  /// BDD of one sequence: IE and each functional outcome.
+  bdd_ref sequence(std::size_t s) {
+    bdd_ref f = compile(et_.initiating_event());
+    const auto& outcomes = et_.sequence_outcomes(s);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i] == branch_outcome::bypass) continue;
+      const bdd_ref gate = compile(et_.functional_gate(i));
+      f = manager_.bdd_and(f, outcomes[i] == branch_outcome::failure
+                                  ? gate
+                                  : manager_.bdd_not(gate));
+    }
+    return f;
+  }
+
+  bdd_ref bdd_or(bdd_ref a, bdd_ref b) { return manager_.bdd_or(a, b); }
+  bdd_ref zero() { return manager_.zero(); }
+
+  double probability(bdd_ref f) {
+    std::vector<double> probs(var_to_event_.size());
+    for (std::size_t v = 0; v < var_to_event_.size(); ++v) {
+      probs[v] = et_.ft().node(var_to_event_[v]).probability;
+    }
+    return manager_.probability(f, probs);
+  }
+
+ private:
+  void assign_vars(node_index root) {
+    const std::function<void(node_index)> visit = [&](node_index n) {
+      if (et_.ft().is_basic(n)) {
+        if (event_to_var_.emplace(n, var_to_event_.size()).second) {
+          var_to_event_.push_back(n);
+        }
+        return;
+      }
+      for (node_index child : et_.ft().node(n).inputs) visit(child);
+    };
+    visit(root);
+  }
+
+  bdd_ref compile(node_index n) {
+    auto it = memo_.find(n);
+    if (it != memo_.end()) return it->second;
+    bdd_ref ref;
+    if (et_.ft().is_basic(n)) {
+      ref = manager_.var(event_to_var_.at(n));
+    } else {
+      const auto& gate = et_.ft().node(n);
+      const bool is_and = gate.type == gate_type::and_gate;
+      ref = is_and ? manager_.one() : manager_.zero();
+      for (node_index child : gate.inputs) {
+        const bdd_ref c = compile(child);
+        ref = is_and ? manager_.bdd_and(ref, c) : manager_.bdd_or(ref, c);
+      }
+    }
+    memo_.emplace(n, ref);
+    return ref;
+  }
+
+  const event_tree& et_;
+  bdd_manager manager_;
+  std::vector<node_index> var_to_event_;
+  std::unordered_map<node_index, std::uint32_t> event_to_var_;
+  std::unordered_map<node_index, bdd_ref> memo_;
+};
+
+}  // namespace
+
+double sequence_probability_exact(const event_tree& et, std::size_t s) {
+  require_model(s < et.num_sequences(), "event_tree: sequence out of range");
+  et_bdd compiled(et);
+  return compiled.probability(compiled.sequence(s));
+}
+
+double end_state_probability_exact(const event_tree& et,
+                                   const std::string& end_state) {
+  et_bdd compiled(et);
+  bdd_ref any = compiled.zero();
+  for (std::size_t s = 0; s < et.num_sequences(); ++s) {
+    if (et.end_state(s) == end_state) {
+      any = compiled.bdd_or(any, compiled.sequence(s));
+    }
+  }
+  return compiled.probability(any);
+}
+
+fault_tree end_state_fault_tree(const event_tree& et,
+                                const std::string& end_state) {
+  et.validate();
+  fault_tree out;
+  std::unordered_map<node_index, node_index> copied;
+  const std::function<node_index(node_index)> copy =
+      [&](node_index n) -> node_index {
+    auto it = copied.find(n);
+    if (it != copied.end()) return it->second;
+    const auto& node = et.ft().node(n);
+    node_index mapped;
+    if (et.ft().is_basic(n)) {
+      mapped = out.add_basic_event(node.name, node.probability);
+    } else {
+      std::vector<node_index> inputs;
+      inputs.reserve(node.inputs.size());
+      for (node_index child : node.inputs) inputs.push_back(copy(child));
+      mapped = out.add_gate(node.name, node.type, inputs);
+    }
+    copied.emplace(n, mapped);
+    return mapped;
+  };
+
+  std::vector<node_index> sequence_gates;
+  for (std::size_t s = 0; s < et.num_sequences(); ++s) {
+    if (et.end_state(s) != end_state) continue;
+    std::vector<node_index> inputs{copy(et.initiating_event())};
+    const auto& outcomes = et.sequence_outcomes(s);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      // Success branches are dropped: the coherent, conservative
+      // approximation used for MCS generation in PSA practice.
+      if (outcomes[i] == branch_outcome::failure) {
+        inputs.push_back(copy(et.functional_gate(i)));
+      }
+    }
+    sequence_gates.push_back(out.add_gate(
+        et.name() + "::SEQ" + std::to_string(s), gate_type::and_gate,
+        inputs));
+  }
+  require_model(!sequence_gates.empty(),
+                "event_tree: no sequence has end state '" + end_state + "'");
+  out.set_top(out.add_gate(et.name() + "::" + end_state, gate_type::or_gate,
+                           sequence_gates));
+  out.validate();
+  return out;
+}
+
+std::vector<trigger_suggestion> suggest_demand_triggers(
+    const event_tree& et, const sd_fault_tree& tree) {
+  std::vector<trigger_suggestion> out;
+  for (std::size_t i = 0; i + 1 < et.num_functional_events(); ++i) {
+    trigger_suggestion suggestion;
+    suggestion.trigger_gate = et.functional_gate(i);
+    const node_index next = et.functional_gate(i + 1);
+    for (node_index n : tree.structure().descendants(next)) {
+      if (tree.structure().is_basic(n) && tree.is_dynamic(n) &&
+          tree.trigger_gate_of(n) == fault_tree::npos) {
+        suggestion.events.push_back(n);
+      }
+    }
+    // Events also living under the triggering gate would deadlock; the
+    // acyclicity check of set_trigger would reject them, so filter here.
+    const auto under_trigger =
+        tree.structure().descendants(suggestion.trigger_gate);
+    std::erase_if(suggestion.events, [&](node_index e) {
+      return std::find(under_trigger.begin(), under_trigger.end(), e) !=
+             under_trigger.end();
+    });
+    if (!suggestion.events.empty()) out.push_back(suggestion);
+  }
+  return out;
+}
+
+}  // namespace sdft

@@ -1,0 +1,157 @@
+#include "ft/ccf.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+double binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+namespace {
+
+void validate_group(const fault_tree& ft, const ccf_group& group) {
+  require_model(group.members.size() >= 2,
+                "ccf: group '" + group.name + "' needs at least two members");
+  std::unordered_set<node_index> seen;
+  double q = -1.0;
+  for (node_index m : group.members) {
+    require_model(m < ft.size() && ft.is_basic(m),
+                  "ccf: group member is not a basic event");
+    require_model(seen.insert(m).second,
+                  "ccf: duplicate member in group '" + group.name + "'");
+    const double p = ft.node(m).probability;
+    require_model(q < 0.0 || std::abs(p - q) < 1e-12,
+                  "ccf: members of group '" + group.name +
+                      "' must share one probability (symmetric redundancy)");
+    q = p;
+  }
+  if (group.model == ccf_group::parametric_model::beta_factor) {
+    require_model(group.beta >= 0.0 && group.beta <= 1.0,
+                  "ccf: beta must lie in [0, 1]");
+  } else {
+    const int n = static_cast<int>(group.members.size());
+    require_model(n <= 8, "ccf: alpha-factor groups limited to 8 members");
+    require_model(group.alpha.size() == group.members.size(),
+                  "ccf: alpha vector must have one entry per member count");
+    double sum = 0.0;
+    for (double a : group.alpha) {
+      require_model(a >= 0.0, "ccf: alpha factors must be non-negative");
+      sum += a;
+    }
+    require_model(std::abs(sum - 1.0) < 1e-9,
+                  "ccf: alpha factors must sum to 1");
+  }
+}
+
+/// Per-member replacement plan: the independent probability and the list
+/// of (CCF event name, probability) the member participates in.
+struct member_plan {
+  double independent;
+  std::vector<std::pair<std::string, double>> shared;  // name, probability
+};
+
+}  // namespace
+
+fault_tree expand_ccf(const fault_tree& ft,
+                      const std::vector<ccf_group>& groups) {
+  std::unordered_map<node_index, member_plan> plans;
+  for (const auto& group : groups) {
+    validate_group(ft, group);
+    const int n = static_cast<int>(group.members.size());
+    const double q = ft.node(group.members.front()).probability;
+
+    if (group.model == ccf_group::parametric_model::beta_factor) {
+      const std::string event = group.name + "_CCF";
+      for (node_index m : group.members) {
+        require_model(plans.find(m) == plans.end(),
+                      "ccf: event in more than one group");
+        member_plan plan;
+        plan.independent = (1.0 - group.beta) * q;
+        plan.shared.emplace_back(event, group.beta * q);
+        plans.emplace(m, plan);
+      }
+      continue;
+    }
+
+    // Alpha-factor: Q_k = k / C(n-1, k-1) * alpha_k / alpha_t * Q.
+    double alpha_t = 0.0;
+    for (int k = 1; k <= n; ++k) alpha_t += k * group.alpha[k - 1];
+    std::vector<double> q_k(n + 1, 0.0);
+    for (int k = 1; k <= n; ++k) {
+      q_k[k] = static_cast<double>(k) / binomial(n - 1, k - 1) *
+               group.alpha[k - 1] / alpha_t * q;
+    }
+    for (node_index m : group.members) {
+      require_model(plans.find(m) == plans.end(),
+                    "ccf: event in more than one group");
+      plans.emplace(m, member_plan{q_k[1], {}});
+    }
+    // One explicit event per subgroup of size >= 2.
+    const auto total = std::size_t{1} << n;
+    for (std::size_t mask = 0; mask < total; ++mask) {
+      const int k = std::popcount(mask);
+      if (k < 2) continue;
+      std::string name = group.name + "_CCF";
+      for (int i = 0; i < n; ++i) {
+        if (mask >> i & 1U) {
+          name += "_" + ft.node(group.members[i]).name;
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        if (mask >> i & 1U) {
+          plans.at(group.members[i]).shared.emplace_back(name, q_k[k]);
+        }
+      }
+    }
+  }
+
+  // Rebuild the tree with members replaced by OR gates.
+  fault_tree out;
+  std::unordered_map<std::string, node_index> ccf_events;
+  std::unordered_map<node_index, node_index> mapped;
+  for (node_index i = 0; i < ft.size(); ++i) {
+    if (!ft.is_basic(i)) continue;
+    const auto& node = ft.node(i);
+    auto plan = plans.find(i);
+    if (plan == plans.end()) {
+      mapped.emplace(i, out.add_basic_event(node.name, node.probability));
+      continue;
+    }
+    std::vector<node_index> inputs{
+        out.add_basic_event(node.name + "_I", plan->second.independent)};
+    for (const auto& [ccf_name, p] : plan->second.shared) {
+      auto it = ccf_events.find(ccf_name);
+      if (it == ccf_events.end()) {
+        it = ccf_events.emplace(ccf_name, out.add_basic_event(ccf_name, p))
+                 .first;
+      }
+      inputs.push_back(it->second);
+    }
+    mapped.emplace(
+        i, out.add_gate(node.name + "_CCF", gate_type::or_gate, inputs));
+  }
+  for (node_index i : ft.topo_order()) {
+    if (!ft.is_gate(i)) continue;
+    const auto& node = ft.node(i);
+    std::vector<node_index> inputs;
+    inputs.reserve(node.inputs.size());
+    for (node_index child : node.inputs) inputs.push_back(mapped.at(child));
+    mapped.emplace(i, out.add_gate(node.name, node.type, inputs));
+  }
+  if (ft.top() != fault_tree::npos) out.set_top(mapped.at(ft.top()));
+  return out;
+}
+
+}  // namespace sdft

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+
+namespace sdft {
+
+/// A common-cause failure group: redundant components whose failures are
+/// statistically coupled. Expansion follows the standard parametric models
+/// of nuclear PSA (beta-factor and alpha-factor, cf. NUREG/CR-5485): each
+/// member event is replaced by an OR of an independent part and explicit
+/// shared CCF events, which then show up in minimal cutsets like any other
+/// basic event. (The paper's §VI-A notes that CCF contributions usually
+/// dominate static results — this module makes that modelling available.)
+struct ccf_group {
+  enum class parametric_model { beta_factor, alpha_factor };
+
+  std::string name;
+  std::vector<node_index> members;  ///< basic events of the group (n >= 2)
+  parametric_model model = parametric_model::beta_factor;
+
+  /// beta-factor model: fraction of each member's total failure
+  /// probability attributed to the failure of the whole group.
+  double beta = 0.1;
+
+  /// alpha-factor model: alpha[k-1] is the fraction of failure *events*
+  /// involving exactly k components (k = 1..n). Must have size n and sum
+  /// to ~1.
+  std::vector<double> alpha;
+};
+
+/// Expands the CCF groups of `ft` into an equivalent fault tree with
+/// explicit common-cause basic events:
+///  - each member m with total probability Q becomes an OR gate
+///    "<m>_CCF" over the independent event "<m>_I" and every CCF event of
+///    a subgroup containing m;
+///  - beta-factor: one group event "<group>_CCF" with probability
+///    beta * Q; independent parts carry (1 - beta) * Q;
+///  - alpha-factor: one event per subgroup S with |S| = k >= 2, named
+///    "<group>_CCF_<members>", with the standard non-staggered formula
+///    Q_k = k / C(n-1, k-1) * alpha_k / alpha_t * Q, alpha_t = sum k*alpha_k.
+///
+/// Members must currently share the same total probability Q (symmetric
+/// redundancy, as the parametric models assume). Group sizes are limited
+/// to 8 for the alpha model (subset expansion is exponential).
+///
+/// Returns a new tree; node names of non-members are preserved.
+fault_tree expand_ccf(const fault_tree& ft,
+                      const std::vector<ccf_group>& groups);
+
+/// Binomial coefficient used by the alpha-factor formula; exposed for
+/// tests.
+double binomial(int n, int k);
+
+}  // namespace sdft

@@ -1,0 +1,204 @@
+#include "ft/fault_tree.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/sorted_set.hpp"
+
+namespace sdft {
+
+node_index fault_tree::add_node(ft_node n) {
+  require_model(!n.name.empty(), "fault_tree: node name must not be empty");
+  require_model(by_name_.find(n.name) == by_name_.end(),
+                "fault_tree: duplicate node name '" + n.name + "'");
+  const auto idx = static_cast<node_index>(nodes_.size());
+  by_name_.emplace(n.name, idx);
+  nodes_.push_back(std::move(n));
+  return idx;
+}
+
+node_index fault_tree::add_basic_event(std::string name, double p) {
+  require_model(p >= 0.0 && p <= 1.0,
+                "fault_tree: probability of '" + name + "' outside [0, 1]");
+  ft_node n;
+  n.name = std::move(name);
+  n.kind = node_kind::basic;
+  n.probability = p;
+  return add_node(std::move(n));
+}
+
+node_index fault_tree::add_gate(std::string name, gate_type type,
+                                std::vector<node_index> inputs) {
+  ft_node n;
+  n.name = std::move(name);
+  n.kind = node_kind::gate;
+  n.type = type;
+  const auto idx = add_node(std::move(n));
+  for (node_index input : inputs) add_input(idx, input);
+  return idx;
+}
+
+void fault_tree::add_input(node_index gate, node_index input) {
+  require_model(gate < nodes_.size() && input < nodes_.size(),
+                "fault_tree: add_input with out-of-range node index");
+  require_model(is_gate(gate), "fault_tree: add_input target is not a gate");
+  auto& inputs = nodes_[gate].inputs;
+  if (std::find(inputs.begin(), inputs.end(), input) == inputs.end()) {
+    inputs.push_back(input);
+  }
+}
+
+void fault_tree::set_probability(node_index basic, double p) {
+  require_model(basic < nodes_.size() && is_basic(basic),
+                "fault_tree: set_probability target is not a basic event");
+  require_model(p >= 0.0 && p <= 1.0,
+                "fault_tree: probability outside [0, 1]");
+  nodes_[basic].probability = p;
+}
+
+void fault_tree::set_top(node_index gate) {
+  require_model(gate < nodes_.size() && is_gate(gate),
+                "fault_tree: top node must be a gate");
+  top_ = gate;
+}
+
+node_index fault_tree::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? npos : it->second;
+}
+
+std::vector<node_index> fault_tree::basic_events() const {
+  std::vector<node_index> out;
+  for (node_index i = 0; i < nodes_.size(); ++i) {
+    if (is_basic(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<node_index> fault_tree::gates() const {
+  std::vector<node_index> out;
+  for (node_index i = 0; i < nodes_.size(); ++i) {
+    if (is_gate(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t fault_tree::num_basic_events() const {
+  return basic_events().size();
+}
+
+std::size_t fault_tree::num_gates() const { return gates().size(); }
+
+void fault_tree::validate() const {
+  require_model(top_ != npos, "fault_tree: no top gate set");
+  topo_order();  // throws on cycles
+}
+
+std::vector<node_index> fault_tree::topo_order() const {
+  // Iterative DFS with colouring; grey-on-grey means a cycle.
+  enum : char { white, grey, black };
+  std::vector<char> colour(nodes_.size(), white);
+  std::vector<node_index> order;
+  order.reserve(nodes_.size());
+
+  std::vector<std::pair<node_index, std::size_t>> stack;
+  for (node_index root = 0; root < nodes_.size(); ++root) {
+    if (colour[root] != white) continue;
+    stack.emplace_back(root, 0);
+    colour[root] = grey;
+    while (!stack.empty()) {
+      auto& [n, next_input] = stack.back();
+      const auto& inputs = nodes_[n].inputs;
+      if (next_input < inputs.size()) {
+        const node_index child = inputs[next_input++];
+        if (colour[child] == grey) {
+          throw model_error("fault_tree: cycle through node '" +
+                            nodes_[child].name + "'");
+        }
+        if (colour[child] == white) {
+          colour[child] = grey;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        colour[n] = black;
+        order.push_back(n);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<node_index> fault_tree::descendants(node_index root) const {
+  require_model(root < nodes_.size(), "fault_tree: descendants of bad index");
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<node_index> stack{root};
+  std::vector<node_index> out;
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const node_index n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (node_index child : nodes_[n].inputs) {
+      if (!seen[child]) {
+        seen[child] = 1;
+        stack.push_back(child);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<char> fault_tree::evaluate(
+    const std::vector<char>& failed_basic) const {
+  require_model(failed_basic.size() >= nodes_.size(),
+                "fault_tree: scenario vector too small");
+  std::vector<char> failed(nodes_.size(), 0);
+  for (node_index n : topo_order()) {
+    if (is_basic(n)) {
+      failed[n] = failed_basic[n];
+      continue;
+    }
+    const auto& inputs = nodes_[n].inputs;
+    if (nodes_[n].type == gate_type::and_gate) {
+      // AND over the empty set is TRUE: a constant-failed gate.
+      char all = 1;
+      for (node_index child : inputs) all &= failed[child];
+      failed[n] = all;
+    } else {
+      char any = 0;
+      for (node_index child : inputs) any |= failed[child];
+      failed[n] = any;
+    }
+  }
+  return failed;
+}
+
+bool fault_tree::fails(node_index target,
+                       const std::vector<char>& failed_basic) const {
+  require_model(target < nodes_.size(), "fault_tree: fails() bad index");
+  return evaluate(failed_basic)[target] != 0;
+}
+
+double fault_tree::probability_brute_force() const {
+  validate();
+  const auto events = basic_events();
+  require_model(events.size() <= 24,
+                "fault_tree: brute force limited to 24 basic events");
+  const std::size_t combos = std::size_t{1} << events.size();
+  std::vector<char> scenario(nodes_.size(), 0);
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    double p = 1.0;
+    for (std::size_t b = 0; b < events.size(); ++b) {
+      const bool fails_b = (mask >> b) & 1U;
+      scenario[events[b]] = fails_b ? 1 : 0;
+      p *= fails_b ? nodes_[events[b]].probability
+                   : 1.0 - nodes_[events[b]].probability;
+    }
+    if (p > 0.0 && fails(top_, scenario)) total += p;
+  }
+  return total;
+}
+
+}  // namespace sdft

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sdft {
+
+/// Gate connective of a coherent fault tree (paper §II).
+enum class gate_type : std::uint8_t {
+  and_gate,  ///< failed iff all inputs are failed
+  or_gate,   ///< failed iff at least one input is failed
+};
+
+enum class node_kind : std::uint8_t { basic, gate };
+
+/// Index of a node within its fault_tree. Basic events and gates share one
+/// id space; fault_tree::npos marks "no node".
+using node_index = std::uint32_t;
+
+/// One node of a fault tree: either a basic event (leaf, carries a failure
+/// probability) or a gate (inner node, carries a connective and inputs).
+struct ft_node {
+  std::string name;
+  node_kind kind = node_kind::basic;
+  gate_type type = gate_type::or_gate;   // meaningful for gates only
+  double probability = 0.0;              // meaningful for basic events only
+  std::vector<node_index> inputs;        // gate children (empty for leaves)
+};
+
+/// A coherent static fault tree: a DAG of AND/OR gates over basic events
+/// with a distinguished top gate (paper §II).
+///
+/// Nodes are created through add_basic_event()/add_gate() and addressed by
+/// node_index. Sharing is allowed (the structure is a DAG, not a tree);
+/// validate() rejects cycles, which can only arise through add_input().
+///
+/// Zero-input gates are permitted as boolean constants: an AND with no
+/// inputs is always failed (TRUE), an OR with no inputs never fails (FALSE).
+/// The per-cutset model construction of SD analysis (paper §V-C) uses the
+/// former for triggers that are already failed by static assumptions.
+class fault_tree {
+ public:
+  static constexpr node_index npos = 0xffffffffU;
+
+  /// Adds a basic event; `p` is its probability of failing, in [0, 1].
+  /// Throws model_error on duplicate name or probability out of range.
+  node_index add_basic_event(std::string name, double p);
+
+  /// Adds a gate with the given inputs (which must already exist).
+  node_index add_gate(std::string name, gate_type type,
+                      std::vector<node_index> inputs = {});
+
+  /// Appends an input to an existing gate. Duplicate inputs are ignored
+  /// (AND(a, a) == AND(a)). May create a cycle, which validate() detects.
+  void add_input(node_index gate, node_index input);
+
+  /// Replaces the probability of a basic event.
+  void set_probability(node_index basic, double p);
+
+  /// Declares the top gate. Must refer to a gate.
+  void set_top(node_index gate);
+
+  node_index top() const { return top_; }
+  std::size_t size() const { return nodes_.size(); }
+  const ft_node& node(node_index i) const { return nodes_[i]; }
+  bool is_basic(node_index i) const {
+    return nodes_[i].kind == node_kind::basic;
+  }
+  bool is_gate(node_index i) const { return nodes_[i].kind == node_kind::gate; }
+
+  /// Index of the node called `name`, or npos.
+  node_index find(const std::string& name) const;
+
+  /// All basic-event indices in insertion order.
+  std::vector<node_index> basic_events() const;
+
+  /// All gate indices in insertion order.
+  std::vector<node_index> gates() const;
+
+  /// Count of basic events / gates.
+  std::size_t num_basic_events() const;
+  std::size_t num_gates() const;
+
+  /// Checks structural well-formedness: a top gate is set, the graph is
+  /// acyclic, and every non-constant gate's inputs exist. Throws model_error.
+  void validate() const;
+
+  /// Nodes in a topological order with inputs before the gates using them.
+  /// Throws model_error if the graph has a cycle.
+  std::vector<node_index> topo_order() const;
+
+  /// All nodes in the subtree rooted at `root` (including `root`),
+  /// in no particular order.
+  std::vector<node_index> descendants(node_index root) const;
+
+  /// Evaluates all nodes under the scenario `failed_basic` (indexed by
+  /// node_index; entries for gates are ignored). Returns a per-node vector:
+  /// result[i] != 0 iff node i is failed by the scenario (paper §II).
+  std::vector<char> evaluate(const std::vector<char>& failed_basic) const;
+
+  /// True iff `target` is failed by the scenario (convenience over
+  /// evaluate() for one-off queries).
+  bool fails(node_index target, const std::vector<char>& failed_basic) const;
+
+  /// Exact failure probability by exhaustive scenario enumeration
+  /// (paper §II, eq. for p(FT)). Exponential in the number of basic
+  /// events; intended as a test oracle for trees with <= ~20 events.
+  double probability_brute_force() const;
+
+ private:
+  node_index add_node(ft_node n);
+
+  std::vector<ft_node> nodes_;
+  node_index top_ = npos;
+  std::unordered_map<std::string, node_index> by_name_;
+};
+
+}  // namespace sdft

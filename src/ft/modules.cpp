@@ -1,0 +1,99 @@
+#include "ft/modules.hpp"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+
+std::vector<node_index> find_modules(const fault_tree& ft) {
+  require_model(ft.top() != fault_tree::npos, "modules: no top gate");
+
+  // Parent lists restricted to nodes reachable from the top.
+  const auto reachable = ft.descendants(ft.top());
+  std::unordered_set<node_index> live(reachable.begin(), reachable.end());
+  std::unordered_map<node_index, std::vector<node_index>> parents;
+  for (node_index n : reachable) {
+    for (node_index child : ft.node(n).inputs) {
+      parents[child].push_back(n);
+    }
+  }
+
+  std::vector<node_index> modules;
+  for (node_index g : reachable) {
+    if (!ft.is_gate(g)) continue;
+    if (g == ft.top()) {
+      modules.push_back(g);
+      continue;
+    }
+    const auto subtree = ft.descendants(g);
+    const std::unordered_set<node_index> inside(subtree.begin(),
+                                                subtree.end());
+    bool is_module = true;
+    for (node_index x : subtree) {
+      if (x == g) continue;
+      for (node_index parent : parents[x]) {
+        if (!inside.count(parent)) {
+          is_module = false;
+          break;
+        }
+      }
+      if (!is_module) break;
+    }
+    if (is_module) modules.push_back(g);
+  }
+  return modules;
+}
+
+double modular_probability(const fault_tree& ft) {
+  const auto module_roots = find_modules(ft);
+  const std::unordered_set<node_index> is_module(module_roots.begin(),
+                                                 module_roots.end());
+  std::unordered_map<node_index, double> module_prob;
+
+  // Topological order guarantees nested modules are solved first.
+  for (node_index n : ft.topo_order()) {
+    if (!is_module.count(n)) continue;
+
+    // One fresh manager per module keeps variable spaces module-sized.
+    bdd_manager manager;
+    std::vector<double> probs;
+    std::unordered_map<node_index, std::uint32_t> var_of;
+    std::unordered_map<node_index, bdd_ref> memo;
+    const std::function<bdd_ref(node_index)> compile =
+        [&](node_index x) -> bdd_ref {
+      auto it = memo.find(x);
+      if (it != memo.end()) return it->second;
+      bdd_ref ref;
+      const bool pseudo_leaf =
+          ft.is_basic(x) || (x != n && is_module.count(x));
+      if (pseudo_leaf) {
+        auto vit = var_of.find(x);
+        if (vit == var_of.end()) {
+          vit = var_of.emplace(x, static_cast<std::uint32_t>(probs.size()))
+                    .first;
+          probs.push_back(ft.is_basic(x) ? ft.node(x).probability
+                                         : module_prob.at(x));
+        }
+        ref = manager.var(vit->second);
+      } else {
+        const auto& gate = ft.node(x);
+        const bool is_and = gate.type == gate_type::and_gate;
+        ref = is_and ? manager.one() : manager.zero();
+        for (node_index child : gate.inputs) {
+          const bdd_ref c = compile(child);
+          ref = is_and ? manager.bdd_and(ref, c) : manager.bdd_or(ref, c);
+        }
+      }
+      memo.emplace(x, ref);
+      return ref;
+    };
+    module_prob[n] = manager.probability(compile(n), probs);
+  }
+  return module_prob.at(ft.top());
+}
+
+}  // namespace sdft

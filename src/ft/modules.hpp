@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+
+namespace sdft {
+
+/// Finds the module roots of `ft`: gates whose strict subtree is
+/// referenced from nowhere outside the subtree. Modules are statistically
+/// independent of the rest of the tree, the key fact behind modular
+/// fault-tree analysis (Dutuit & Rauzy) and behind the mixed static/
+/// dynamic approach of [16] the paper compares against.
+///
+/// The top gate is always a module. Uses a set-based check, O(G * E);
+/// intended for model diagnostics and the modular probability engine, not
+/// for inner loops.
+std::vector<node_index> find_modules(const fault_tree& ft);
+
+/// Exact top-gate failure probability by modular decomposition: each
+/// module is compiled to its own (small) BDD with nested modules folded
+/// into pseudo basic events carrying their already-computed probability.
+/// Equal to ft_bdd(ft).probability() but with BDDs only ever as large as
+/// one module.
+double modular_probability(const fault_tree& ft);
+
+}  // namespace sdft

@@ -1,0 +1,209 @@
+#include "ft/openpsa.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ft/voting.hpp"
+#include "util/error.hpp"
+#include "util/xml.hpp"
+
+namespace sdft {
+
+namespace {
+
+struct gate_definition {
+  std::string name;
+  const xml_node* formula;  // the connective element
+};
+
+double parse_float_value(const xml_node& define_be) {
+  const xml_node* value = define_be.child("float");
+  require_model(value != nullptr,
+                "openpsa: define-basic-event '" +
+                    define_be.attribute("name") +
+                    "' needs a <float value=.../>");
+  try {
+    return std::stod(value->attribute("value"));
+  } catch (const std::exception&) {
+    throw model_error("openpsa: cannot parse probability of '" +
+                      define_be.attribute("name") + "'");
+  }
+}
+
+/// Recursively collects definitions from opsa-mef, define-fault-tree and
+/// model-data containers.
+void collect(const xml_node& node,
+             std::vector<gate_definition>& gates,
+             std::unordered_map<std::string, double>& probabilities) {
+  for (const auto& child : node.children) {
+    if (child.tag == "define-fault-tree" || child.tag == "model-data") {
+      collect(child, gates, probabilities);
+    } else if (child.tag == "define-gate") {
+      require_model(child.children.size() == 1,
+                    "openpsa: define-gate '" + child.attribute("name") +
+                        "' must contain exactly one formula");
+      gates.push_back({child.attribute("name"), &child.children.front()});
+    } else if (child.tag == "define-basic-event") {
+      probabilities[child.attribute("name")] = parse_float_value(child);
+    } else if (child.tag == "label" || child.tag == "attributes") {
+      continue;  // harmless metadata
+    } else {
+      throw model_error("openpsa: unsupported element <" + child.tag + ">");
+    }
+  }
+}
+
+/// Names referenced by a formula element (gate/basic-event/event refs).
+void collect_references(const xml_node& formula,
+                        std::vector<std::string>& out) {
+  for (const auto& child : formula.children) {
+    if (child.tag == "gate" || child.tag == "basic-event" ||
+        child.tag == "event") {
+      out.push_back(child.attribute("name"));
+    } else {
+      throw model_error("openpsa: unsupported formula operand <" +
+                        child.tag + "> (nested formulas must be named "
+                        "gates in this subset)");
+    }
+  }
+}
+
+}  // namespace
+
+fault_tree parse_openpsa(const std::string& xml_text) {
+  const xml_node root = parse_xml(xml_text);
+  require_model(root.tag == "opsa-mef",
+                "openpsa: root element must be <opsa-mef>");
+
+  std::vector<gate_definition> gates;
+  std::unordered_map<std::string, double> probabilities;
+  collect(root, gates, probabilities);
+  require_model(!gates.empty(), "openpsa: no define-gate found");
+
+  fault_tree ft;
+  // Basic events first (anything with a probability definition), then
+  // gates, then wiring; references to names without any definition fail.
+  for (const auto& [name, p] : probabilities) {
+    require_model(p >= 0.0 && p <= 1.0,
+                  "openpsa: probability of '" + name + "' outside [0, 1]");
+    ft.add_basic_event(name, p);
+  }
+
+  // Pre-create plain AND/OR gates; voting gates need their inputs first,
+  // so they are expanded in a dependency-ordered second phase.
+  std::unordered_map<std::string, const xml_node*> formula_of;
+  for (const auto& g : gates) {
+    require_model(formula_of.emplace(g.name, g.formula).second,
+                  "openpsa: duplicate gate '" + g.name + "'");
+  }
+  for (const auto& g : gates) {
+    if (g.formula->tag == "and") {
+      ft.add_gate(g.name, gate_type::and_gate);
+    } else if (g.formula->tag == "or") {
+      ft.add_gate(g.name, gate_type::or_gate);
+    } else if (g.formula->tag != "atleast") {
+      throw model_error("openpsa: unsupported connective <" +
+                        g.formula->tag + "> in gate '" + g.name + "'");
+    }
+  }
+  // Expand atleast gates in an order where their operands already exist
+  // (repeat until no progress; cycles through atleast gates are rejected).
+  std::vector<const gate_definition*> pending;
+  for (const auto& g : gates) {
+    if (g.formula->tag == "atleast") pending.push_back(&g);
+  }
+  while (!pending.empty()) {
+    const std::size_t before = pending.size();
+    for (auto it = pending.begin(); it != pending.end();) {
+      std::vector<std::string> refs;
+      collect_references(*(*it)->formula, refs);
+      bool ready = true;
+      for (const auto& ref : refs) {
+        if (ft.find(ref) == fault_tree::npos) ready = false;
+      }
+      if (!ready) {
+        ++it;
+        continue;
+      }
+      std::vector<node_index> inputs;
+      for (const auto& ref : refs) inputs.push_back(ft.find(ref));
+      int min = 0;
+      try {
+        min = std::stoi((*it)->formula->attribute("min"));
+      } catch (const std::exception&) {
+        throw model_error("openpsa: bad 'min' on atleast gate '" +
+                          (*it)->name + "'");
+      }
+      add_voting_gate(ft, (*it)->name, min, inputs);
+      it = pending.erase(it);
+    }
+    require_model(pending.size() < before,
+                  "openpsa: unresolvable atleast gate dependencies "
+                  "(cycle or undefined operand)");
+  }
+  // Wire AND/OR inputs.
+  for (const auto& g : gates) {
+    if (g.formula->tag == "atleast") continue;
+    std::vector<std::string> refs;
+    collect_references(*g.formula, refs);
+    const node_index gate = ft.find(g.name);
+    for (const auto& ref : refs) {
+      const node_index target = ft.find(ref);
+      require_model(target != fault_tree::npos,
+                    "openpsa: gate '" + g.name +
+                        "' references undefined '" + ref + "'");
+      ft.add_input(gate, target);
+    }
+  }
+
+  // Top gate: the unique defined gate not referenced by any other gate.
+  std::unordered_set<std::string> referenced;
+  for (const auto& g : gates) {
+    std::vector<std::string> refs;
+    collect_references(*g.formula, refs);
+    referenced.insert(refs.begin(), refs.end());
+  }
+  std::vector<std::string> roots;
+  for (const auto& g : gates) {
+    if (!referenced.count(g.name)) roots.push_back(g.name);
+  }
+  require_model(roots.size() == 1,
+                "openpsa: expected exactly one unreferenced (top) gate, "
+                "found " + std::to_string(roots.size()));
+  ft.set_top(ft.find(roots.front()));
+  ft.validate();
+  return ft;
+}
+
+std::string write_openpsa(const fault_tree& ft,
+                          const std::string& model_name) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "<?xml version=\"1.0\"?>\n<opsa-mef>\n  <define-fault-tree name=\""
+      << xml_escape(model_name) << "\">\n";
+  for (node_index i = 0; i < ft.size(); ++i) {
+    if (!ft.is_gate(i)) continue;
+    const auto& gate = ft.node(i);
+    const char* connective =
+        gate.type == gate_type::and_gate ? "and" : "or";
+    out << "    <define-gate name=\"" << xml_escape(gate.name) << "\">\n"
+        << "      <" << connective << ">\n";
+    for (node_index child : gate.inputs) {
+      out << "        <" << (ft.is_gate(child) ? "gate" : "basic-event")
+          << " name=\"" << xml_escape(ft.node(child).name) << "\"/>\n";
+    }
+    out << "      </" << connective << ">\n    </define-gate>\n";
+  }
+  out << "  </define-fault-tree>\n  <model-data>\n";
+  for (node_index i = 0; i < ft.size(); ++i) {
+    if (!ft.is_basic(i)) continue;
+    out << "    <define-basic-event name=\"" << xml_escape(ft.node(i).name)
+        << "\">\n      <float value=\"" << ft.node(i).probability
+        << "\"/>\n    </define-basic-event>\n";
+  }
+  out << "  </model-data>\n</opsa-mef>\n";
+  return out.str();
+}
+
+}  // namespace sdft

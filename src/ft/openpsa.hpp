@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "ft/fault_tree.hpp"
+
+namespace sdft {
+
+/// Open-PSA Model Exchange Format (MEF) interchange for static fault
+/// trees — the XML format used by open-source PSA tools such as SCRAM and
+/// XFTA. The supported subset:
+///
+/// ```xml
+/// <opsa-mef>
+///   <define-fault-tree name="FT">
+///     <define-gate name="top">
+///       <or> <gate name="g1"/> <basic-event name="b"/> </or>
+///     </define-gate>
+///     <define-gate name="g1">
+///       <atleast min="2"> <basic-event name="a"/> ... </atleast>
+///     </define-gate>
+///   </define-fault-tree>
+///   <model-data>
+///     <define-basic-event name="b"> <float value="1e-3"/> </define-basic-event>
+///   </model-data>
+/// </opsa-mef>
+/// ```
+///
+/// - Connectives: and, or, atleast (min attribute; expanded structurally).
+/// - References: <gate name=>, <basic-event name=>, <event name=>.
+/// - define-basic-event may appear inside define-fault-tree or model-data;
+///   its probability comes from a <float value=>.
+/// - The top gate is the unique defined gate never referenced by another
+///   gate; ambiguity is an error.
+///
+/// Throws model_error on anything outside this subset.
+fault_tree parse_openpsa(const std::string& xml_text);
+
+/// Serialises `ft` as an Open-PSA MEF document parseable by
+/// parse_openpsa() (and by SCRAM/XFTA for the constructs used here).
+std::string write_openpsa(const fault_tree& ft,
+                          const std::string& model_name = "sdft-export");
+
+}  // namespace sdft

@@ -1,0 +1,124 @@
+#include "ft/parser.hpp"
+
+#include <istream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sdft {
+
+namespace {
+
+struct gate_record {
+  std::string name;
+  gate_type type;
+  std::vector<std::string> children;
+  std::size_t line;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw model_error("fault tree parse error, line " + std::to_string(line) +
+                    ": " + what);
+}
+
+double parse_probability(const std::string& tok, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double p = std::stod(tok, &used);
+    if (used != tok.size()) fail(line, "trailing characters in number");
+    return p;
+  } catch (const std::exception&) {
+    fail(line, "cannot parse probability '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+fault_tree parse_fault_tree(std::istream& in) {
+  fault_tree ft;
+  std::vector<gate_record> gates;
+  std::string top_name;
+  std::size_t top_line = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize_line(line);
+    if (tokens.empty()) continue;
+    const std::string& cmd = tokens[0];
+    if (cmd == "be") {
+      if (tokens.size() != 3) fail(line_no, "expected: be <name> <prob>");
+      ft.add_basic_event(tokens[1], parse_probability(tokens[2], line_no));
+    } else if (cmd == "and" || cmd == "or") {
+      if (tokens.size() < 2) fail(line_no, "expected: " + cmd + " <name> ...");
+      gate_record rec;
+      rec.name = tokens[1];
+      rec.type = cmd == "and" ? gate_type::and_gate : gate_type::or_gate;
+      rec.children.assign(tokens.begin() + 2, tokens.end());
+      rec.line = line_no;
+      gates.push_back(std::move(rec));
+    } else if (cmd == "top") {
+      if (tokens.size() != 2) fail(line_no, "expected: top <name>");
+      if (!top_name.empty()) fail(line_no, "duplicate top declaration");
+      top_name = tokens[1];
+      top_line = line_no;
+    } else {
+      fail(line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+
+  // Second pass: create gates (so forward references resolve), then wire.
+  for (const auto& rec : gates) ft.add_gate(rec.name, rec.type);
+  for (const auto& rec : gates) {
+    const node_index g = ft.find(rec.name);
+    for (const auto& child : rec.children) {
+      const node_index c = ft.find(child);
+      if (c == fault_tree::npos) {
+        fail(rec.line, "gate '" + rec.name + "' references undeclared node '" +
+                           child + "'");
+      }
+      ft.add_input(g, c);
+    }
+  }
+  if (top_name.empty()) fail(line_no == 0 ? 1 : line_no, "no top declaration");
+  const node_index top = ft.find(top_name);
+  if (top == fault_tree::npos || !ft.is_gate(top)) {
+    fail(top_line, "top '" + top_name + "' is not a declared gate");
+  }
+  ft.set_top(top);
+  ft.validate();
+  return ft;
+}
+
+fault_tree parse_fault_tree_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_fault_tree(in);
+}
+
+std::string write_fault_tree(const fault_tree& ft) {
+  std::ostringstream out;
+  out.precision(17);
+  for (node_index i = 0; i < ft.size(); ++i) {
+    const auto& n = ft.node(i);
+    if (n.kind == node_kind::basic) {
+      out << "be " << n.name << ' ' << n.probability << '\n';
+    }
+  }
+  for (node_index i = 0; i < ft.size(); ++i) {
+    const auto& n = ft.node(i);
+    if (n.kind != node_kind::gate) continue;
+    out << (n.type == gate_type::and_gate ? "and " : "or ") << n.name;
+    for (node_index child : n.inputs) out << ' ' << ft.node(child).name;
+    out << '\n';
+  }
+  if (ft.top() != fault_tree::npos) {
+    out << "top " << ft.node(ft.top()).name << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sdft

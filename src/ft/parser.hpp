@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ft/fault_tree.hpp"
+
+namespace sdft {
+
+/// Line-oriented text format for static fault trees.
+///
+/// ```
+/// # comment
+/// be   <name> <probability>
+/// and  <name> [<child> ...]
+/// or   <name> [<child> ...]
+/// top  <name>
+/// ```
+///
+/// Children may be referenced before their declaration; the parser resolves
+/// names in a second pass. Throws model_error with a line number on any
+/// syntactic or structural problem.
+fault_tree parse_fault_tree(std::istream& in);
+fault_tree parse_fault_tree_string(const std::string& text);
+
+/// Serialises `ft` in the format accepted by parse_fault_tree(). The result
+/// round-trips: parsing it yields a tree with identical structure, names and
+/// probabilities (indices may differ).
+std::string write_fault_tree(const fault_tree& ft);
+
+}  // namespace sdft

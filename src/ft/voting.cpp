@@ -1,0 +1,34 @@
+#include "ft/voting.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+node_index add_voting_gate(fault_tree& ft, const std::string& name, int k,
+                           const std::vector<node_index>& inputs) {
+  const int n = static_cast<int>(inputs.size());
+  require_model(n >= 1 && n <= 12,
+                "voting gate: between 1 and 12 inputs supported");
+  require_model(k >= 1 && k <= n,
+                "voting gate: k must lie in [1, #inputs]");
+  if (k == 1) return ft.add_gate(name, gate_type::or_gate, inputs);
+  if (k == n) return ft.add_gate(name, gate_type::and_gate, inputs);
+
+  const node_index top = ft.add_gate(name, gate_type::or_gate);
+  std::size_t combo = 0;
+  const std::size_t total = std::size_t{1} << n;
+  for (std::size_t mask = 0; mask < total; ++mask) {
+    if (std::popcount(mask) != k) continue;
+    const node_index conj = ft.add_gate(
+        name + "::" + std::to_string(combo++), gate_type::and_gate);
+    for (int i = 0; i < n; ++i) {
+      if (mask >> i & 1U) ft.add_input(conj, inputs[i]);
+    }
+    ft.add_input(top, conj);
+  }
+  return top;
+}
+
+}  // namespace sdft

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+
+namespace sdft {
+
+/// Adds a k-out-of-N voting gate: failed iff at least `k` of the `inputs`
+/// are failed. Industrial fault trees use these for redundant trains with
+/// partial success criteria (e.g. 2-of-3 pumps needed -> 2oo3 failure).
+///
+/// Expanded structurally: k = 1 becomes a plain OR, k = N a plain AND,
+/// otherwise an OR over all C(N, k) AND combinations (named
+/// "<name>::<i>"). The expansion is exponential in N; N is limited to 12.
+/// MOCUS, BDD, the product construction and every other consumer then see
+/// ordinary coherent gates.
+node_index add_voting_gate(fault_tree& ft, const std::string& name, int k,
+                           const std::vector<node_index>& inputs);
+
+}  // namespace sdft

@@ -1,0 +1,249 @@
+#include "gen/bwr.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ctmc/triggered.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+
+namespace {
+
+/// Reliability parameters of the example study. Failure-to-start and other
+/// demand failures are per-demand probabilities; fail-in-operation events
+/// are rates per hour (converted to static probabilities over the horizon
+/// when the model is built statically).
+struct bwr_data {
+  double pump_fts = 3e-3;
+  double pump_fio_rate = 5e-4;
+  double support_pump_fts = 1e-3;
+  double support_pump_fio_rate = 1e-4;
+  double dg_fts = 8e-3;
+  double dg_fio_rate = 1e-3;
+  double dg_breaker = 3e-4;
+  double fb_operator = 1e-2;
+  double fb_valve = 5e-4;
+  double fb_fio_rate = 1e-3;
+  double valve_fto = 3e-4;
+  double valve_plug = 1.5e-4;
+  double ctrl_signal = 3e-4;
+  double ctrl_relay = 2e-4;
+  double hx_fouling = 1e-4;
+  double hx_leak = 5e-5;
+  double strainer = 2e-4;
+  double sws_valve = 2e-4;
+  double battery = 5e-4;
+  double cst = 3e-6;
+  double signal = 1e-4;
+  double room_cooling = 2e-4;
+  double ccf = 1.5e-4;
+  double ie_transient = 1e-3;
+  double ie_loca = 1e-4;
+  double ie_loop = 5e-4;
+};
+
+/// A local component of a train: one or more static failure modes,
+/// wrapped in an OR gate when there are several (PSA component gates).
+struct component_spec {
+  std::string suffix;
+  std::vector<std::pair<std::string, double>> modes;
+};
+
+/// Builder wiring the five systems and their support structure.
+class bwr_builder {
+ public:
+  explicit bwr_builder(const bwr_options& options) : opt_(options) {
+    require_model(opt_.phases >= 1, "bwr: phases must be >= 1");
+  }
+
+  sd_fault_tree build() {
+    // Shared support equipment.
+    const node_index cst = tree_.add_static_event("CST", data_.cst);
+    node_index dg[2];
+    node_index room[2];
+    for (int i = 0; i < 2; ++i) {
+      const std::string t = std::to_string(i + 1);
+      dg[i] = tree_.add_gate(
+          "DG" + t + "_F", gate_type::or_gate,
+          {tree_.add_static_event("DG" + t + "_FTS", data_.dg_fts),
+           fio_event("DG" + t + "_FIO", data_.dg_fio_rate, fault_tree::npos),
+           tree_.add_static_event("DG" + t + "_BKR", data_.dg_breaker)});
+      room[i] =
+          tree_.add_static_event("ROOM" + t + "_COOLING", data_.room_cooling);
+    }
+
+    const component_spec valve{
+        "VALVE",
+        {{"FTO", data_.valve_fto}, {"PLUG", data_.valve_plug}}};
+    const component_spec ctrl{
+        "CTRL",
+        {{"SIG", data_.ctrl_signal}, {"RELAY", data_.ctrl_relay}}};
+    const component_spec hx{
+        "HX", {{"FOUL", data_.hx_fouling}, {"LEAK", data_.hx_leak}}};
+    const component_spec strainer{"STRAINER", {{"", data_.strainer}}};
+    const component_spec sws_valve{"VALVE", {{"", data_.sws_valve}}};
+    const component_spec battery{"BATTERY", {{"", data_.battery}}};
+
+    // Support chain: SWS feeds CCW feeds the front-line trains. Train 2 of
+    // a system is triggered by the failure of train 1 of the same system
+    // when the corresponding switch is on (paper §VI-A).
+    node_index sws_train[2];
+    node_index ccw_train[2];
+    node_index ecc_train[2];
+    node_index efw_train[2];
+    node_index rhr_train[2];
+    for (int i = 0; i < 2; ++i) {
+      const std::string t = std::to_string(i + 1);
+      const bool second = i == 1;
+      sws_train[i] = make_train(
+          "SWS_T" + t, data_.support_pump_fts, data_.support_pump_fio_rate,
+          {strainer, sws_valve}, {},
+          second && opt_.trigger_sws ? sws_train[0] : fault_tree::npos);
+      ccw_train[i] = make_train(
+          "CCW_T" + t, data_.support_pump_fts, data_.support_pump_fio_rate,
+          {valve}, {sws_train[i]},
+          second && opt_.trigger_ccw ? ccw_train[0] : fault_tree::npos);
+      ecc_train[i] = make_train(
+          "ECC_T" + t, data_.pump_fts, data_.pump_fio_rate,
+          {valve, ctrl, battery}, {ccw_train[i], dg[i], room[i]},
+          second && opt_.trigger_ecc ? ecc_train[0] : fault_tree::npos);
+      efw_train[i] = make_train(
+          "EFW_T" + t, data_.pump_fts, data_.pump_fio_rate,
+          {valve, ctrl, battery}, {ccw_train[i], cst, room[i]},
+          second && opt_.trigger_efw ? efw_train[0] : fault_tree::npos);
+      rhr_train[i] = make_train(
+          "RHR_T" + t, data_.pump_fts, data_.pump_fio_rate, {hx, ctrl},
+          {room[i]},
+          second && opt_.trigger_rhr ? rhr_train[0] : fault_tree::npos);
+    }
+    make_system("SWS", sws_train);
+    make_system("CCW", ccw_train);
+    const node_index ecc_f = make_system("ECC", ecc_train);
+    const node_index efw_f = make_system("EFW", efw_train);
+    const node_index rhr_f = make_system("RHR", rhr_train);
+
+    // FEED&BLEED recovery, demanded when RHR is lost.
+    const node_index fb_fio = fio_event(
+        "FB_FIO", data_.fb_fio_rate,
+        opt_.trigger_feed_bleed ? rhr_f : fault_tree::npos);
+    const node_index fb_f = tree_.add_gate(
+        "FB_F", gate_type::or_gate,
+        {tree_.add_static_event("FB_OPERATOR", data_.fb_operator), fb_fio,
+         tree_.add_static_event("FB_VALVE", data_.fb_valve)});
+
+    // Accident sequences and the top gate.
+    const node_index ie_trans =
+        tree_.add_static_event("IE_TRANSIENT", data_.ie_transient);
+    const node_index ie_loca = tree_.add_static_event("IE_LOCA", data_.ie_loca);
+    const node_index ie_loop = tree_.add_static_event("IE_LOOP", data_.ie_loop);
+    const node_index seq1 = tree_.add_gate(
+        "SEQ_TRANS_COOLING", gate_type::and_gate, {ie_trans, ecc_f, efw_f});
+    const node_index seq2 = tree_.add_gate(
+        "SEQ_TRANS_RHR", gate_type::and_gate, {ie_trans, rhr_f, fb_f});
+    const node_index seq3 =
+        tree_.add_gate("SEQ_LOCA", gate_type::and_gate, {ie_loca, ecc_f});
+    const node_index seq4 = tree_.add_gate(
+        "SEQ_LOOP_COOLING", gate_type::and_gate, {ie_loop, efw_f, ecc_f});
+    tree_.set_top(tree_.add_gate("CORE_DAMAGE", gate_type::or_gate,
+                                 {seq1, seq2, seq3, seq4}));
+
+    tree_.validate();
+    return std::move(tree_);
+  }
+
+ private:
+  /// Creates the fail-in-operation event of one component: a static event
+  /// (probability 1 - exp(-lambda t)) in the static variant, an Erlang
+  /// chain in the dynamic one. A valid `trigger_gate` makes it a
+  /// passive-start triggered chain switched by that gate's failure.
+  node_index fio_event(const std::string& name, double rate,
+                       node_index trigger_gate) {
+    // The probability a static study would assign over the mission time;
+    // dynamic events retain it as their reference for the static cutoff.
+    const double p_static = 1.0 - std::exp(-rate * opt_.horizon);
+    if (!opt_.dynamic_events) {
+      return tree_.add_static_event(name, p_static);
+    }
+    if (trigger_gate != fault_tree::npos) {
+      const node_index event = tree_.add_dynamic_event(
+          name,
+          make_erlang_triggered(opt_.phases, rate, opt_.repair_rate,
+                                opt_.passive_factor),
+          p_static);
+      tree_.set_trigger(trigger_gate, event);
+      return event;
+    }
+    return tree_.add_dynamic_event(
+        name, make_erlang_active(opt_.phases, rate, opt_.repair_rate),
+        p_static);
+  }
+
+  /// One pump train: OR over the pump (FTS + FIO), the local component
+  /// gates, and shared support gates. A valid `trigger_gate` (train 1 of
+  /// the same system) makes the FIO event a triggered chain.
+  node_index make_train(const std::string& name, double fts, double fio_rate,
+                        const std::vector<component_spec>& components,
+                        const std::vector<node_index>& supports,
+                        node_index trigger_gate) {
+    const node_index fio = fio_event(
+        name + "_FIO", fio_rate,
+        opt_.dynamic_events ? trigger_gate : fault_tree::npos);
+    const node_index pump = tree_.add_gate(
+        name + "_PUMP", gate_type::or_gate,
+        {tree_.add_static_event(name + "_FTS", fts), fio});
+    std::vector<node_index> inputs{pump};
+    for (const component_spec& comp : components) {
+      const std::string base = name + "_" + comp.suffix;
+      if (comp.modes.size() == 1) {
+        inputs.push_back(
+            tree_.add_static_event(base, comp.modes.front().second));
+      } else {
+        std::vector<node_index> modes;
+        for (const auto& [mode, p] : comp.modes) {
+          modes.push_back(tree_.add_static_event(base + "_" + mode, p));
+        }
+        inputs.push_back(tree_.add_gate(base, gate_type::or_gate, modes));
+      }
+    }
+    for (node_index s : supports) inputs.push_back(s);
+    return tree_.add_gate(name + "_F", gate_type::or_gate, inputs);
+  }
+
+  /// System failure: both trains lost, or the actuation signal (or the CCF
+  /// event when enabled).
+  node_index make_system(const std::string& name, const node_index trains[2]) {
+    const node_index both = tree_.add_gate(
+        name + "_TRAINS", gate_type::and_gate, {trains[0], trains[1]});
+    std::vector<node_index> inputs{
+        tree_.add_static_event(name + "_SIGNAL", data_.signal), both};
+    if (opt_.include_ccf) {
+      inputs.push_back(tree_.add_static_event(name + "_CCF", data_.ccf));
+    }
+    return tree_.add_gate(name + "_F", gate_type::or_gate, inputs);
+  }
+
+  const bwr_options opt_;
+  const bwr_data data_;
+  sd_fault_tree tree_;
+};
+
+}  // namespace
+
+bwr_options with_bwr_triggers(bwr_options base, int count) {
+  require_model(count >= 0 && count <= bwr_num_triggers,
+                "bwr: trigger count out of range");
+  bool* flags[bwr_num_triggers] = {
+      &base.trigger_feed_bleed, &base.trigger_rhr, &base.trigger_efw,
+      &base.trigger_ecc,        &base.trigger_sws, &base.trigger_ccw};
+  for (int i = 0; i < bwr_num_triggers; ++i) *flags[i] = i < count;
+  return base;
+}
+
+sd_fault_tree make_bwr_model(const bwr_options& options) {
+  return bwr_builder(options).build();
+}
+
+}  // namespace sdft

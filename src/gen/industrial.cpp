@@ -1,0 +1,245 @@
+#include "gen/industrial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "ctmc/triggered.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdft {
+
+namespace {
+
+/// Log-uniform sample in [lo, hi].
+double log_uniform(rng& random, double lo, double hi) {
+  return std::exp(random.uniform(std::log(lo), std::log(hi)));
+}
+
+class industrial_builder {
+ public:
+  explicit industrial_builder(const industrial_options& options)
+      : opt_(options), random_(options.seed) {
+    require_model(opt_.num_support_systems >= 0 &&
+                      opt_.num_frontline_systems >= 1 &&
+                      opt_.num_initiating_events >= 1 &&
+                      opt_.sequences_per_ie >= 1,
+                  "industrial: system/sequence counts must be positive");
+    require_model(opt_.min_trains >= 1 &&
+                      opt_.max_trains >= opt_.min_trains &&
+                      opt_.components_per_train >= 1,
+                  "industrial: train/component counts out of range");
+  }
+
+  industrial_model build() {
+    // Support systems first: lean (fewer components, no further
+    // dependencies) so that referencing them does not blow up the
+    // branching of the sequence cross-products.
+    for (int j = 0; j < opt_.num_support_systems; ++j) {
+      support_.push_back(make_system("SUP" + std::to_string(j), 0,
+                                     std::max(2, opt_.components_per_train - 2)));
+    }
+    for (int k = 0; k < opt_.num_frontline_systems; ++k) {
+      frontline_.push_back(make_system("SYS" + std::to_string(k),
+                                       opt_.num_support_systems,
+                                       opt_.components_per_train));
+    }
+
+    // Event-tree layer: sequences = IE AND a few front-line failures,
+    // reached through transfer-gate chains.
+    std::vector<node_index> sequences;
+    for (int i = 0; i < opt_.num_initiating_events; ++i) {
+      const node_index ie = model_.ft.add_basic_event(
+          "IE" + std::to_string(i), log_uniform(random_, 1e-3, 1e-1));
+      for (int q = 0; q < opt_.sequences_per_ie; ++q) {
+        const std::string seq_name =
+            "SEQ" + std::to_string(i) + "_" + std::to_string(q);
+        // Two distinct front-line systems per sequence: deeper ANDs fall
+        // below any realistic cutoff anyway, and the pairwise products are
+        // where truncation does its work (paper §IV-B).
+        std::vector<node_index> inputs{ie};
+        const std::size_t first = random_.below(frontline_.size());
+        std::size_t second = random_.below(frontline_.size() - 1);
+        if (second >= first) ++second;
+        inputs.push_back(transfer_chain(frontline_[first].gate, seq_name, 0));
+        inputs.push_back(transfer_chain(frontline_[second].gate, seq_name, 1));
+        sequences.push_back(
+            model_.ft.add_gate(seq_name, gate_type::and_gate, inputs));
+      }
+    }
+    model_.ft.set_top(model_.ft.add_gate("CORE_DAMAGE", gate_type::or_gate,
+                                         sequences));
+    model_.ft.validate();
+    return std::move(model_);
+  }
+
+ private:
+  struct system {
+    node_index gate;
+    std::vector<node_index> train_gates;
+  };
+
+  /// A chain of `transfer_depth` single-input pass-through OR gates, the
+  /// way event-tree sequence logic references system fault trees in
+  /// industrial PSA studies.
+  node_index transfer_chain(node_index target, const std::string& seq_name,
+                            int slot) {
+    node_index current = target;
+    for (int d = 0; d < opt_.transfer_depth; ++d) {
+      current = model_.ft.add_gate(seq_name + "_X" + std::to_string(slot) +
+                                       "_" + std::to_string(d),
+                                   gate_type::or_gate, {current});
+    }
+    return current;
+  }
+
+  /// A redundant system: AND over trains; each train an OR over component
+  /// gates plus at most one support-train reference.
+  system make_system(const std::string& name, int support_pool,
+                     int components) {
+    system sys;
+    const int trains =
+        static_cast<int>(random_.between(opt_.min_trains, opt_.max_trains));
+
+    // Symmetric trains share per-slot failure data: sample once per slot.
+    struct slot_data {
+      bool has_fio;
+      double fts;
+      double rate;
+      int group;
+    };
+    std::vector<slot_data> slots;
+    for (int c = 0; c < components; ++c) {
+      slot_data s;
+      s.has_fio = random_.chance(0.6);
+      s.fts = log_uniform(random_, opt_.fts_min, opt_.fts_max);
+      s.rate = log_uniform(random_, opt_.fio_rate_min, opt_.fio_rate_max);
+      s.group = next_group_++;
+      slots.push_back(s);
+    }
+
+    // Support references: the same supports for all trains, aligned by
+    // train index (train i uses support train i mod its train count).
+    std::vector<const system*> supports;
+    if (support_pool > 0 && random_.chance(0.6)) {
+      supports.push_back(&support_[random_.below(
+          static_cast<std::uint64_t>(support_pool))]);
+    }
+
+    for (int tr = 0; tr < trains; ++tr) {
+      const std::string train_name = name + "_T" + std::to_string(tr);
+      std::vector<node_index> inputs;
+      for (int c = 0; c < components; ++c) {
+        const slot_data& s = slots[c];
+        const std::string comp_name =
+            train_name + "_C" + std::to_string(c);
+        const node_index fts =
+            model_.ft.add_basic_event(comp_name + "_FTS", s.fts);
+        if (s.has_fio) {
+          const double p = 1.0 - std::exp(-s.rate * opt_.horizon);
+          const node_index fio =
+              model_.ft.add_basic_event(comp_name + "_FIO", p);
+          const node_index comp = model_.ft.add_gate(
+              comp_name, gate_type::or_gate, {fts, fio});
+          inputs.push_back(comp);
+          model_.fio_events.push_back(fio);
+          model_.fio_rate.emplace(fio, s.rate);
+          model_.redundancy_group.emplace(fio, s.group);
+          model_.component_gate.emplace(fio, comp);
+        } else {
+          inputs.push_back(fts);
+        }
+      }
+      for (const system* sup : supports) {
+        inputs.push_back(
+            sup->train_gates[tr % sup->train_gates.size()]);
+      }
+      sys.train_gates.push_back(
+          model_.ft.add_gate(train_name, gate_type::or_gate, inputs));
+    }
+    sys.gate =
+        model_.ft.add_gate(name + "_F", gate_type::and_gate, sys.train_gates);
+    return sys;
+  }
+
+  const industrial_options opt_;
+  rng random_;
+  industrial_model model_;
+  std::vector<system> support_;
+  std::vector<system> frontline_;
+  int next_group_ = 0;
+};
+
+}  // namespace
+
+industrial_model generate_industrial(const industrial_options& options) {
+  return industrial_builder(options).build();
+}
+
+sd_fault_tree annotate_dynamic(const industrial_model& model,
+                               const std::vector<node_index>& ranked,
+                               const annotation_options& options) {
+  require_model(options.dynamic_fraction >= 0.0 &&
+                    options.dynamic_fraction <= 1.0 &&
+                    options.trigger_fraction >= 0.0 &&
+                    options.trigger_fraction <= 1.0,
+                "annotate_dynamic: fractions must lie in [0, 1]");
+
+  // Select the top-importance FIO events for dynamic replacement.
+  const std::unordered_set<node_index> fio_set(model.fio_events.begin(),
+                                               model.fio_events.end());
+  const auto target_dynamic = static_cast<std::size_t>(
+      std::llround(options.dynamic_fraction *
+                   static_cast<double>(model.fio_events.size())));
+  std::vector<node_index> selected;  // in decreasing importance
+  for (node_index b : ranked) {
+    if (selected.size() >= target_dynamic) break;
+    if (fio_set.count(b)) selected.push_back(b);
+  }
+  const std::unordered_set<node_index> selected_set(selected.begin(),
+                                                    selected.end());
+
+  // Arrange trigger chains inside redundancy groups, highest importance
+  // first: the first (most important) member keeps running from time 0 and
+  // each further member is started by the failure of the previous member's
+  // component (paper §VI-B).
+  const auto target_triggered = static_cast<std::size_t>(
+      std::llround(options.trigger_fraction *
+                   static_cast<double>(selected.size())));
+  std::unordered_map<int, node_index> chain_tail;  // group -> last member
+  std::unordered_map<node_index, node_index> trigger_source;
+  std::size_t triggered = 0;
+  for (node_index e : selected) {
+    if (triggered >= target_triggered) break;
+    const int group = model.redundancy_group.at(e);
+    auto it = chain_tail.find(group);
+    if (it == chain_tail.end()) {
+      chain_tail.emplace(group, e);  // chain head, stays untriggered
+      continue;
+    }
+    trigger_source.emplace(e, model.component_gate.at(it->second));
+    it->second = e;
+    ++triggered;
+  }
+
+  sd_fault_tree tree(model.ft);
+  for (node_index e : selected) {
+    const double rate = model.fio_rate.at(e);
+    auto src = trigger_source.find(e);
+    if (src != trigger_source.end()) {
+      tree.make_dynamic(e, make_erlang_triggered(options.phases, rate,
+                                                 options.repair_rate,
+                                                 options.passive_factor));
+      tree.set_trigger(src->second, e);
+    } else {
+      tree.make_dynamic(
+          e, make_erlang_active(options.phases, rate, options.repair_rate));
+    }
+  }
+  tree.validate();
+  return tree;
+}
+
+}  // namespace sdft

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+#include "mcs/cutset.hpp"
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+
+/// Parameters of the synthetic industrial-scale PSA generator.
+///
+/// The paper's §VI-B models are proprietary nuclear safety studies
+/// (Model 1: 2,995 basic events / 52,213 gates / 74,130 MCS). This
+/// generator substitutes them with seeded synthetic studies of the same
+/// *shape*: an event-tree layer of accident sequences (IE AND front-line
+/// system failures, wrapped in transfer-gate chains as real PSA models
+/// are), front-line systems of 2-3 redundant trains, per-train component
+/// lists with failure-to-start and fail-in-operation modes, and a DAG of
+/// shared support systems. Defaults produce a bench-sized model; scale up
+/// for paper-order sizes.
+struct industrial_options {
+  std::uint64_t seed = 42;
+
+  int num_support_systems = 6;
+  int num_frontline_systems = 24;
+  int num_initiating_events = 15;
+  int sequences_per_ie = 8;
+  int min_trains = 2;
+  int max_trains = 3;
+  int components_per_train = 5;
+
+  /// Depth of single-input pass-through gates between sequence logic and
+  /// system gates, mimicking the transfer gates that dominate gate counts
+  /// in industrial studies.
+  int transfer_depth = 3;
+
+  /// Mission time used to turn fail-in-operation rates into the static
+  /// probabilities of the legacy study (1 - exp(-lambda t)).
+  double horizon = 24.0;
+
+  /// Log-uniform range of per-demand failure probabilities (FTS events).
+  /// Together with the cutoff 1e-15 these ranges control how many cutsets
+  /// of the sequence cross-products stay relevant — the defaults keep a
+  /// 2-system sequence around the cutoff, as in real PSA studies where
+  /// truncation does most of the work.
+  double fts_min = 3e-6;
+  double fts_max = 3e-3;
+
+  /// Log-uniform range of fail-in-operation rates (per hour).
+  double fio_rate_min = 1.25e-7;
+  double fio_rate_max = 1.25e-4;
+};
+
+/// One generated study plus the metadata dynamic annotation needs.
+struct industrial_model {
+  fault_tree ft;
+
+  /// Fail-in-operation events: the candidates for dynamic replacement.
+  std::vector<node_index> fio_events;
+
+  /// Failure rate lambda (per hour) behind each FIO event's static
+  /// probability.
+  std::unordered_map<node_index, double> fio_rate;
+
+  /// Redundancy group of each FIO event: events filling the same component
+  /// slot in parallel trains of one system. Symmetric parts share failure
+  /// data, so they tie in Fussell-Vesely importance — the paper chains
+  /// triggers within such groups (§VI-B).
+  std::unordered_map<node_index, int> redundancy_group;
+
+  /// The component gate (OR of FTS and FIO) above each FIO event; failure
+  /// of this gate is the trigger source when the event starts a chain.
+  std::unordered_map<node_index, node_index> component_gate;
+};
+
+industrial_model generate_industrial(const industrial_options& options = {});
+
+/// Controls for enriching a generated study with dynamic behaviour,
+/// following the paper's §VI-B recipe.
+struct annotation_options {
+  /// Fraction of FIO events replaced by dynamic chains, chosen by
+  /// decreasing Fussell-Vesely importance.
+  double dynamic_fraction = 0.3;
+
+  /// Fraction of the *dynamic* events arranged into trigger chains
+  /// (the paper's "% trigg. BE" is a tenth of "% dyn. BE", which matches
+  /// trigger_fraction ~ 0.1 of the dynamic events).
+  double trigger_fraction = 0.1;
+
+  int phases = 1;
+  double repair_rate = 0.02;  // 1 / 50h
+  double passive_factor = 100.0;
+};
+
+/// Replaces the top-importance FIO events of `model` by dynamic Erlang
+/// chains and wires trigger chains inside redundancy groups (highest
+/// importance first), as the paper does on its industrial models. `ranked`
+/// must be the basic events ranked by decreasing Fussell-Vesely importance
+/// of the static study (see rank_by_fussell_vesely()).
+///
+/// Returns the enriched SD fault tree; node indices equal those of
+/// `model.ft`.
+sd_fault_tree annotate_dynamic(const industrial_model& model,
+                               const std::vector<node_index>& ranked,
+                               const annotation_options& options);
+
+}  // namespace sdft

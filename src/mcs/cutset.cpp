@@ -1,0 +1,114 @@
+#include "mcs/cutset.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+double cutset_probability(const fault_tree& ft, const cutset& c) {
+  double p = 1.0;
+  for (node_index b : c) p *= ft.node(b).probability;
+  return p;
+}
+
+double rare_event_probability(const fault_tree& ft,
+                              const std::vector<cutset>& cutsets) {
+  double total = 0.0;
+  for (const auto& c : cutsets) total += cutset_probability(ft, c);
+  return total;
+}
+
+double min_cut_upper_bound(const fault_tree& ft,
+                           const std::vector<cutset>& cutsets) {
+  double survive = 1.0;
+  for (const auto& c : cutsets) survive *= 1.0 - cutset_probability(ft, c);
+  return 1.0 - survive;
+}
+
+std::vector<cutset> minimize_cutsets(std::vector<cutset> sets) {
+  std::sort(sets.begin(), sets.end(), [](const cutset& a, const cutset& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  });
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+
+  // The empty cutset (a constant-failed tree) subsumes everything; the
+  // counting scheme below cannot see it because it has no members.
+  if (!sets.empty() && sets.front().empty()) return {cutset{}};
+
+  // Per-event index over kept cutsets: a candidate is subsumed iff some kept
+  // cutset is counted |kept| times across the candidate's member lists.
+  std::vector<cutset> kept;
+  std::unordered_map<node_index, std::vector<std::size_t>> by_event;
+  std::unordered_map<std::size_t, std::size_t> hits;
+  for (auto& cand : sets) {
+    hits.clear();
+    bool subsumed = false;
+    for (node_index b : cand) {
+      auto it = by_event.find(b);
+      if (it == by_event.end()) continue;
+      for (std::size_t k : it->second) {
+        if (++hits[k] == kept[k].size()) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (subsumed) break;
+    }
+    if (subsumed) continue;
+    const std::size_t id = kept.size();
+    for (node_index b : cand) by_event[b].push_back(id);
+    kept.push_back(std::move(cand));
+  }
+  return kept;
+}
+
+bool are_minimal_cutsets(const fault_tree& ft,
+                         const std::vector<cutset>& sets) {
+  std::vector<char> scenario(ft.size(), 0);
+  for (const auto& c : sets) {
+    for (node_index b : c) {
+      if (!ft.is_basic(b)) return false;
+      scenario[b] = 1;
+    }
+    const bool is_cut = ft.fails(ft.top(), scenario);
+    bool strictly_minimal = true;
+    if (is_cut) {
+      // Coherence makes single-removal checks complete: if any proper subset
+      // were a cutset, so would be some |C|-1 subset.
+      for (node_index b : c) {
+        scenario[b] = 0;
+        if (ft.fails(ft.top(), scenario)) {
+          strictly_minimal = false;
+        }
+        scenario[b] = 1;
+        if (!strictly_minimal) break;
+      }
+    }
+    for (node_index b : c) scenario[b] = 0;
+    if (!is_cut || !strictly_minimal) return false;
+  }
+  return true;
+}
+
+std::vector<cutset> minimal_cutsets_brute_force(const fault_tree& ft) {
+  const auto events = ft.basic_events();
+  require_model(events.size() <= 20,
+                "minimal_cutsets_brute_force limited to 20 basic events");
+  std::vector<cutset> cuts;
+  std::vector<char> scenario(ft.size(), 0);
+  const std::size_t combos = std::size_t{1} << events.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    cutset c;
+    for (std::size_t b = 0; b < events.size(); ++b) {
+      scenario[events[b]] = (mask >> b) & 1U ? 1 : 0;
+      if (scenario[events[b]]) c.push_back(events[b]);
+    }
+    std::sort(c.begin(), c.end());
+    if (ft.fails(ft.top(), scenario)) cuts.push_back(std::move(c));
+  }
+  return minimize_cutsets(std::move(cuts));
+}
+
+}  // namespace sdft

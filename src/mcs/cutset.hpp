@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+
+namespace sdft {
+
+/// A cutset: a sorted, duplicate-free set of basic-event indices whose joint
+/// failure fails the top gate (paper §IV-A).
+using cutset = std::vector<node_index>;
+
+/// Product of the probabilities of the events in `c` (paper §IV-A, p(C)).
+double cutset_probability(const fault_tree& ft, const cutset& c);
+
+/// Rare-event approximation: sum of cutset probabilities (paper §IV-A iii).
+double rare_event_probability(const fault_tree& ft,
+                              const std::vector<cutset>& cutsets);
+
+/// Min-cut upper bound: 1 - prod(1 - p(C)). Tighter than the rare-event
+/// approximation and still an upper bound for coherent trees with
+/// independent events.
+double min_cut_upper_bound(const fault_tree& ft,
+                           const std::vector<cutset>& cutsets);
+
+/// Removes non-minimal sets: keeps exactly those sets with no proper subset
+/// in the input. Also deduplicates. The result is sorted by (size, content).
+std::vector<cutset> minimize_cutsets(std::vector<cutset> sets);
+
+/// True iff every member of `sets` is a cutset of `ft` (fails the top gate)
+/// and no proper subset of it is. Exponential-free check used by tests.
+bool are_minimal_cutsets(const fault_tree& ft, const std::vector<cutset>& sets);
+
+/// Brute-force minimal cutsets by scenario enumeration; a test oracle for
+/// trees with few basic events.
+std::vector<cutset> minimal_cutsets_brute_force(const fault_tree& ft);
+
+}  // namespace sdft

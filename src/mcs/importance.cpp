@@ -1,0 +1,68 @@
+#include "mcs/importance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sdft {
+
+std::unordered_map<node_index, importance_measures> importance_analysis(
+    const fault_tree& ft, const std::vector<cutset>& cutsets) {
+  const double total = rare_event_probability(ft, cutsets);
+
+  // For each event a:
+  //   with_a    = sum of p(C) over cutsets containing a,
+  //   partial_a = sum of p(C \ {a}) over the same cutsets (= d total/d p(a)).
+  std::unordered_map<node_index, importance_measures> out;
+  std::unordered_map<node_index, double> with_a;
+  std::unordered_map<node_index, double> partial_a;
+  for (const auto& c : cutsets) {
+    const double pc = cutset_probability(ft, c);
+    for (node_index b : c) {
+      with_a[b] += pc;
+      const double pb = ft.node(b).probability;
+      // p(C \ {a}); guard the degenerate p(a)=0 cutset (pc is then 0 too).
+      double rest;
+      if (pb > 0.0) {
+        rest = pc / pb;
+      } else {
+        rest = 1.0;
+        for (node_index other : c) {
+          if (other != b) rest *= ft.node(other).probability;
+        }
+      }
+      partial_a[b] += rest;
+    }
+  }
+
+  for (node_index b : ft.basic_events()) {
+    importance_measures m;
+    const double wa = with_a.count(b) ? with_a[b] : 0.0;
+    const double pa = partial_a.count(b) ? partial_a[b] : 0.0;
+    m.birnbaum = pa;
+    if (total > 0.0) {
+      m.fussell_vesely = wa / total;
+      // total with p(a) := 1 is total - wa + pa; with p(a) := 0 it is
+      // total - wa.
+      m.raw = (total - wa + pa) / total;
+      const double without = total - wa;
+      m.rrw = without > 0.0 ? total / without
+                            : std::numeric_limits<double>::infinity();
+    }
+    out.emplace(b, m);
+  }
+  return out;
+}
+
+std::vector<node_index> rank_by_fussell_vesely(
+    const fault_tree& ft, const std::vector<cutset>& cutsets) {
+  auto measures = importance_analysis(ft, cutsets);
+  std::vector<node_index> events = ft.basic_events();
+  std::stable_sort(events.begin(), events.end(),
+                   [&](node_index a, node_index b) {
+                     return measures[a].fussell_vesely >
+                            measures[b].fussell_vesely;
+                   });
+  return events;
+}
+
+}  // namespace sdft

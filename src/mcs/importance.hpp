@@ -1,0 +1,37 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+#include "mcs/cutset.hpp"
+
+namespace sdft {
+
+/// MCS-based importance measures for one basic event.
+///
+/// All measures are computed from a (relevant) minimal-cutset list with the
+/// rare-event approximation, which is how industrial PSA tools report them
+/// and how the paper selects events for dynamic modelling (§VI-B uses the
+/// Fussell–Vesely factor).
+struct importance_measures {
+  double fussell_vesely = 0.0;  ///< sum of p(C) over C containing a / p_rea
+  double birnbaum = 0.0;        ///< d p_rea / d p(a)
+  double raw = 0.0;             ///< risk achievement worth: p_rea[p(a)=1]/p_rea
+  double rrw = 1.0;             ///< risk reduction worth:  p_rea/p_rea[p(a)=0]
+};
+
+/// Computes importance measures for every basic event appearing in
+/// `cutsets`. Events absent from all cutsets get all-zero measures
+/// (rrw = 1). Returns a map keyed by basic-event index.
+std::unordered_map<node_index, importance_measures> importance_analysis(
+    const fault_tree& ft, const std::vector<cutset>& cutsets);
+
+/// Basic events of `ft` ordered by decreasing Fussell–Vesely importance
+/// (ties broken by node index for determinism). Events not appearing in any
+/// cutset come last. This is the ranking the paper uses to choose which
+/// events to model dynamically (§VI-B).
+std::vector<node_index> rank_by_fussell_vesely(
+    const fault_tree& ft, const std::vector<cutset>& cutsets);
+
+}  // namespace sdft

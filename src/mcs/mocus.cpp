@@ -1,0 +1,200 @@
+#include "mcs/mocus.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/sorted_set.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sdft {
+
+namespace {
+
+/// A partial cutset: basic events already chosen plus gates still to fail
+/// (paper §IV-B). Both sets are kept sorted for cheap dedup and hashing.
+struct partial_cutset {
+  std::vector<node_index> events;
+  std::vector<node_index> gates;
+  double probability = 1.0;  // product over chosen events
+};
+
+/// Key identifying a partial for the visited-set: events, separator, gates.
+using partial_key = std::vector<node_index>;
+
+struct partial_key_hash {
+  std::size_t operator()(const partial_key& k) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (node_index v : k) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+partial_key make_key(const partial_cutset& p) {
+  partial_key key;
+  key.reserve(p.events.size() + p.gates.size() + 1);
+  key.insert(key.end(), p.events.begin(), p.events.end());
+  key.push_back(fault_tree::npos);
+  key.insert(key.end(), p.gates.begin(), p.gates.end());
+  return key;
+}
+
+enum class event_mode : char { free_event, forced_failed, forced_working };
+
+}  // namespace
+
+mocus_result mocus_from(const fault_tree& ft, node_index root,
+                        const mocus_options& opt) {
+  require_model(root < ft.size(), "mocus: root index out of range");
+  const stopwatch timer;
+  mocus_result result;
+
+  std::vector<event_mode> mode(ft.size(), event_mode::free_event);
+  for (node_index b : opt.assume_failed) {
+    require_model(b < ft.size() && ft.is_basic(b),
+                  "mocus: assume_failed entry is not a basic event");
+    mode[b] = event_mode::forced_failed;
+  }
+  for (node_index b : opt.assume_working) {
+    require_model(b < ft.size() && ft.is_basic(b),
+                  "mocus: assume_working entry is not a basic event");
+    require_model(mode[b] != event_mode::forced_failed,
+                  "mocus: event both assumed failed and assumed working");
+    mode[b] = event_mode::forced_working;
+  }
+
+  std::vector<partial_cutset> stack;
+  std::unordered_set<partial_key, partial_key_hash> visited;
+  std::vector<cutset> raw_cutsets;
+
+  // Seed with the root.
+  {
+    partial_cutset seed;
+    if (ft.is_basic(root)) {
+      switch (mode[root]) {
+        case event_mode::free_event:
+          seed.events.push_back(root);
+          seed.probability = ft.node(root).probability;
+          break;
+        case event_mode::forced_failed:
+          break;  // empty cutset: root already failed
+        case event_mode::forced_working:
+          // Root can never fail: no cutsets at all.
+          result.seconds = timer.seconds();
+          return result;
+      }
+    } else {
+      seed.gates.push_back(root);
+    }
+    if (seed.probability >= opt.cutoff || opt.cutoff == 0.0) {
+      visited.insert(make_key(seed));
+      stack.push_back(std::move(seed));
+    }
+  }
+
+  // Adds `child` (a basic event) to the partial; returns false if the
+  // partial dies (forced-working child of an AND, cutoff, order).
+  const auto add_event = [&](partial_cutset& p, node_index child) -> bool {
+    switch (mode[child]) {
+      case event_mode::forced_failed:
+        return true;  // satisfied for free
+      case event_mode::forced_working:
+        return false;
+      case event_mode::free_event:
+        break;
+    }
+    if (sorted_set::contains(p.events, child)) return true;
+    sorted_set::insert(p.events, child);
+    p.probability *= ft.node(child).probability;
+    if (p.events.size() > opt.max_order ||
+        (opt.cutoff > 0.0 && p.probability < opt.cutoff)) {
+      ++result.cutoff_discarded;
+      return false;
+    }
+    return true;
+  };
+
+  const auto push_if_new = [&](partial_cutset&& p) {
+    if (visited.size() >= opt.dedup_limit) visited.clear();
+    if (visited.insert(make_key(p)).second) stack.push_back(std::move(p));
+  };
+
+  while (!stack.empty()) {
+    partial_cutset p = std::move(stack.back());
+    stack.pop_back();
+    ++result.partials_processed;
+    if (result.partials_processed > opt.max_partials) {
+      throw numeric_error("mocus: partial cutset limit exceeded");
+    }
+
+    if (p.gates.empty()) {
+      raw_cutsets.push_back(std::move(p.events));
+      continue;
+    }
+
+    // Expand an AND gate if available (it only constrains, never branches,
+    // so the cutoff prunes earlier); otherwise the first OR gate.
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < p.gates.size(); ++i) {
+      if (ft.node(p.gates[i]).type == gate_type::and_gate) {
+        pick = i;
+        break;
+      }
+    }
+    const node_index g = p.gates[pick];
+    p.gates.erase(p.gates.begin() + static_cast<std::ptrdiff_t>(pick));
+    const ft_node& gate = ft.node(g);
+
+    if (gate.type == gate_type::and_gate) {
+      bool alive = true;
+      for (node_index child : gate.inputs) {
+        if (ft.is_basic(child)) {
+          if (!add_event(p, child)) {
+            alive = false;
+            break;
+          }
+        } else {
+          sorted_set::insert(p.gates, child);
+        }
+      }
+      if (alive) push_if_new(std::move(p));
+    } else {
+      // If any input is certainly failed the gate is satisfied outright;
+      // branching would only create subsumed supersets.
+      bool satisfied = false;
+      for (node_index child : gate.inputs) {
+        if (ft.is_basic(child) && mode[child] == event_mode::forced_failed) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        push_if_new(std::move(p));
+        continue;
+      }
+      for (node_index child : gate.inputs) {
+        partial_cutset branch = p;
+        if (ft.is_basic(child)) {
+          if (!add_event(branch, child)) continue;
+        } else {
+          sorted_set::insert(branch.gates, child);
+        }
+        push_if_new(std::move(branch));
+      }
+    }
+  }
+
+  result.cutsets = minimize_cutsets(std::move(raw_cutsets));
+  result.seconds = timer.seconds();
+  return result;
+}
+
+mocus_result mocus(const fault_tree& ft, const mocus_options& opt) {
+  require_model(ft.top() != fault_tree::npos, "mocus: fault tree has no top");
+  return mocus_from(ft, ft.top(), opt);
+}
+
+}  // namespace sdft

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "ft/fault_tree.hpp"
+#include "mcs/cutset.hpp"
+
+namespace sdft {
+
+/// Options for the MOCUS minimal-cutset generator (paper §IV-B).
+struct mocus_options {
+  /// Partial cutsets whose basic-event probability product falls below this
+  /// are discarded (the paper's cutoff constant c*, e.g. 1e-15). 0 disables.
+  double cutoff = 0.0;
+
+  /// Maximum number of basic events per cutset; larger partials are
+  /// discarded. Mirrors the order cutoff of industrial PSA tools.
+  std::size_t max_order = std::numeric_limits<std::size_t>::max();
+
+  /// Safety valve on the number of partial cutsets processed; exceeding it
+  /// throws numeric_error rather than exhausting memory.
+  std::size_t max_partials = 100'000'000;
+
+  /// Size bound of the duplicate-partial cache. Deduplication is a pure
+  /// optimisation (duplicates expand to identical cutsets), so the cache
+  /// is cleared when it reaches this bound: memory stays bounded on huge
+  /// models at the price of occasionally re-expanding a shared partial.
+  std::size_t dedup_limit = 4'000'000;
+
+  /// Basic events assumed certainly failed (boolean TRUE). They satisfy
+  /// gates but never appear in the produced cutsets. Used by the per-MCS
+  /// model construction where static events of the cutset are conditioned
+  /// on (paper §V-C step 2).
+  std::vector<node_index> assume_failed;
+
+  /// Basic events assumed certainly working (boolean FALSE); branches
+  /// through them are pruned. Used to restrict the trigger-set computation
+  /// to the relevant events Rel_a (paper §V-C step 2).
+  std::vector<node_index> assume_working;
+};
+
+/// Result of a MOCUS run: the minimal cutsets plus bookkeeping counters.
+struct mocus_result {
+  /// Minimal cutsets over the free (non-assumed) basic events, sorted by
+  /// (size, content). May contain the empty cutset when the root is failed
+  /// by the assumptions alone.
+  std::vector<cutset> cutsets;
+
+  std::size_t partials_processed = 0;  ///< partial cutsets expanded
+  std::size_t cutoff_discarded = 0;    ///< partials dropped by cutoff/order
+  double seconds = 0.0;                ///< wall-clock generation time
+};
+
+/// Runs MOCUS from the top gate of `ft`.
+mocus_result mocus(const fault_tree& ft, const mocus_options& opt = {});
+
+/// Runs MOCUS from an arbitrary root node of `ft` (a gate or basic event).
+/// The per-MCS model construction uses this on trigger-gate subtrees.
+mocus_result mocus_from(const fault_tree& ft, node_index root,
+                        const mocus_options& opt = {});
+
+}  // namespace sdft

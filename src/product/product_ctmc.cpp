@@ -1,0 +1,272 @@
+#include "product/product_ctmc.hpp"
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "ctmc/transient.hpp"
+#include "ft/evaluator.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+
+namespace {
+
+using local_state = std::uint16_t;
+using product_state = std::vector<local_state>;
+
+struct product_state_hash {
+  std::size_t operator()(const product_state& s) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (local_state v : s) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+/// Per-component view used during exploration. Static events own a local
+/// two-state chain; dynamic events reference their model inside the tree.
+struct component {
+  node_index event;
+  const ctmc* chain;
+  // Trigger data; trigger_gate == npos for untriggered components.
+  node_index trigger_gate = fault_tree::npos;
+  const std::vector<char>* on_state = nullptr;
+  const std::vector<state_index>* to_on = nullptr;
+  const std::vector<state_index>* to_off = nullptr;
+};
+
+class builder {
+ public:
+  /// With `attribute` set, failed states reached by a transition are
+  /// replaced by one absorbing sink per causing component (and failed
+  /// states are never expanded), enabling first-failure attribution.
+  builder(const sd_fault_tree& tree, const product_options& options,
+          bool attribute = false)
+      : tree_(tree), options_(options), attribute_(attribute),
+        eval_(tree.structure()) {
+    const fault_tree& ft = tree_.structure();
+    for (node_index b : ft.basic_events()) {
+      component comp;
+      comp.event = b;
+      if (tree_.is_dynamic(b)) {
+        const dynamic_model& model = tree_.model_of(b);
+        if (const auto* trig = std::get_if<triggered_ctmc>(&model)) {
+          comp.chain = &trig->chain;
+          comp.trigger_gate = tree_.trigger_gate_of(b);
+          comp.on_state = &trig->on_state;
+          comp.to_on = &trig->to_on;
+          comp.to_off = &trig->to_off;
+        } else {
+          comp.chain = &std::get<ctmc>(model);
+        }
+      } else {
+        static_chains_.push_back(make_static_event(ft.node(b).probability));
+      }
+      components_.push_back(comp);
+    }
+    // Vector growth above invalidates pointers; bind static chains now.
+    std::size_t next_static = 0;
+    for (auto& comp : components_) {
+      if (!tree_.is_dynamic(comp.event)) {
+        comp.chain = &static_chains_[next_static++];
+      }
+      require_model(comp.chain->num_states() <= 0xffff,
+                    "product: component chain exceeds 65535 states");
+    }
+    failed_basic_.assign(ft.size(), 0);
+  }
+
+  product_ctmc build() {
+    seed_initial();
+    if (attribute_) {
+      // One absorbing failed sink per component; regular product states
+      // keep their failed flag off so only sinks (and initially failed
+      // states) carry failure mass.
+      sinks_.resize(components_.size());
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+        sinks_[i] = result_.chain.add_state();
+        result_.chain.set_failed(sinks_[i]);
+        result_.states.emplace_back();  // keep states_ aligned with chain
+      }
+    }
+    // BFS over consistent states; result_.chain rows grow as states intern.
+    for (std::size_t s = 0; s < result_.states.size(); ++s) {
+      if (attribute_ && (result_.states[s].empty() ||
+                         result_.chain.failed(static_cast<state_index>(s)))) {
+        continue;  // sinks and initially-failed states are absorbing
+      }
+      const product_state current = result_.states[s];  // copy: vector grows
+      if (current.empty()) continue;  // a sink slot
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+        for (const auto& [target, rate] :
+             components_[i].chain->transitions_from(current[i])) {
+          product_state next = current;
+          next[i] = static_cast<local_state>(target);
+          settle(next);
+          if (attribute_ && is_failed(next)) {
+            result_.chain.add_rate(static_cast<state_index>(s), sinks_[i],
+                                   rate);
+            continue;
+          }
+          const state_index to = intern(next);
+          if (to != s) {
+            result_.chain.add_rate(static_cast<state_index>(s), to, rate);
+          }
+        }
+      }
+    }
+    return std::move(result_);
+  }
+
+  /// Sink state of component position i (attribution mode only).
+  state_index sink(std::size_t i) const { return sinks_[i]; }
+
+ private:
+  /// Applies trigger updates until the state is consistent (paper §III-C1b).
+  /// Acyclic triggering bounds the number of sweeps by the trigger depth.
+  void settle(product_state& s) {
+    const std::size_t limit = components_.size() + 2;
+    for (std::size_t round = 0; round <= limit; ++round) {
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+        failed_basic_[components_[i].event] =
+            components_[i].chain->failed(s[i]) ? 1 : 0;
+      }
+      eval_.evaluate(failed_basic_, node_failed_);
+      bool changed = false;
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+        const component& comp = components_[i];
+        if (comp.trigger_gate == fault_tree::npos) continue;
+        const bool demanded = node_failed_[comp.trigger_gate] != 0;
+        const bool on = (*comp.on_state)[s[i]] != 0;
+        if (demanded && !on) {
+          s[i] = static_cast<local_state>((*comp.to_on)[s[i]]);
+          changed = true;
+        } else if (!demanded && on) {
+          s[i] = static_cast<local_state>((*comp.to_off)[s[i]]);
+          changed = true;
+        }
+      }
+      if (!changed) return;
+    }
+    throw model_error("product: trigger updates did not stabilise");
+  }
+
+  /// Whether a (consistent) product state fails the top gate.
+  bool is_failed(const product_state& s) {
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      failed_basic_[components_[i].event] =
+          components_[i].chain->failed(s[i]) ? 1 : 0;
+    }
+    eval_.evaluate(failed_basic_, node_failed_);
+    return node_failed_[tree_.structure().top()] != 0;
+  }
+
+  /// Index of a consistent state, interning it (and its failure flag) on
+  /// first sight.
+  state_index intern(const product_state& s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    if (result_.states.size() >= options_.max_states) {
+      throw numeric_error("product: state-space limit exceeded");
+    }
+    const auto idx = static_cast<state_index>(result_.states.size());
+    index_.emplace(s, idx);
+    result_.states.push_back(s);
+    result_.chain.add_state();
+    result_.chain.set_failed(idx, is_failed(s));
+    return idx;
+  }
+
+  /// Enumerates the product of the per-component initial supports,
+  /// normalising each combination to its consistent state (paper §III-C1).
+  void seed_initial() {
+    for (const auto& comp : components_) {
+      result_.events.push_back(comp.event);
+    }
+    std::unordered_map<product_state, double, product_state_hash> initial;
+    product_state partial(components_.size(), 0);
+    std::size_t combos = 0;
+    const std::function<void(std::size_t, double)> expand =
+        [&](std::size_t i, double p) {
+          if (i == components_.size()) {
+            if (++combos > options_.max_initial_support) {
+              throw numeric_error("product: initial support limit exceeded");
+            }
+            product_state s = partial;
+            settle(s);
+            initial[s] += p;
+            return;
+          }
+          const ctmc& chain = *components_[i].chain;
+          for (state_index l = 0; l < chain.num_states(); ++l) {
+            const double pl = chain.initial(l);
+            if (pl == 0.0) continue;
+            partial[i] = static_cast<local_state>(l);
+            expand(i + 1, p * pl);
+          }
+        };
+    expand(0, 1.0);
+    for (const auto& [s, p] : initial) {
+      result_.chain.set_initial(intern(s), p);
+    }
+  }
+
+  const sd_fault_tree& tree_;
+  const product_options options_;
+  const bool attribute_ = false;
+  std::vector<state_index> sinks_;
+  ft_evaluator eval_;
+  std::vector<component> components_;
+  std::vector<ctmc> static_chains_;
+  std::vector<char> failed_basic_;
+  std::vector<char> node_failed_;
+  std::unordered_map<product_state, state_index, product_state_hash> index_;
+  product_ctmc result_;
+};
+
+}  // namespace
+
+product_ctmc build_product_ctmc(const sd_fault_tree& tree,
+                                const product_options& options) {
+  tree.validate();
+  return builder(tree, options).build();
+}
+
+double exact_failure_probability(const sd_fault_tree& tree, double t,
+                                 double epsilon,
+                                 const product_options& options) {
+  const product_ctmc product = build_product_ctmc(tree, options);
+  return reach_failed_probability(product.chain, t, epsilon);
+}
+
+attribution_result failure_attribution(const sd_fault_tree& tree, double t,
+                                       double epsilon,
+                                       const product_options& options) {
+  tree.validate();
+  builder b(tree, options, /*attribute=*/true);
+  const product_ctmc product = b.build();
+
+  // Every failed state (sinks and initially-failed states) is absorbing
+  // by construction, so the plain transient distribution carries exactly
+  // the first-failure mass.
+  const auto dist = transient_distribution(product.chain, t, epsilon);
+  attribution_result out;
+  for (std::size_t i = 0; i < product.events.size(); ++i) {
+    const double mass = dist[b.sink(i)];
+    if (mass > 0.0) out.by_event[product.events[i]] = mass;
+    out.total += mass;
+  }
+  for (state_index s = 0; s < product.num_states(); ++s) {
+    if (!product.states[s].empty() && product.chain.failed(s)) {
+      out.initially_failed += dist[s];
+    }
+  }
+  out.total += out.initially_failed;
+  return out;
+}
+
+}  // namespace sdft

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+
+/// Options bounding the product construction.
+struct product_options {
+  /// Hard cap on consistent product states; exceeded -> numeric_error.
+  std::size_t max_states = 2'000'000;
+
+  /// Hard cap on initial-support combinations (they multiply over events
+  /// with more than one initially-supported local state).
+  std::size_t max_initial_support = 1'000'000;
+};
+
+/// The product Markov chain C_FT of an SD fault tree (paper §III-C):
+/// one CTMC state per *consistent* reachable product of local basic-event
+/// states, with trigger updates folded into transitions and into the
+/// initial distribution.
+struct product_ctmc {
+  ctmc chain;
+
+  /// Component order: events[i] is the SD-tree basic event whose local
+  /// state occupies position i of every product state.
+  std::vector<node_index> events;
+
+  /// states[s][i] is the local chain state of events[i] in product state s.
+  std::vector<std::vector<std::uint16_t>> states;
+
+  std::size_t num_states() const { return states.size(); }
+};
+
+/// Builds the reachable consistent product chain of `tree`. Static basic
+/// events participate as two-state zero-rate chains (paper §III-C); their
+/// initial randomness multiplies into the initial distribution.
+product_ctmc build_product_ctmc(const sd_fault_tree& tree,
+                                const product_options& options = {});
+
+/// The exact semantics of an SD fault tree: Pr[Reach<=t(F)] in the product
+/// chain (paper §III-C2). This is the reference the MCS-based analysis is
+/// validated against; it is exponential in the number of basic events.
+double exact_failure_probability(const sd_fault_tree& tree, double t,
+                                 double epsilon = 1e-10,
+                                 const product_options& options = {});
+
+/// Attribution of the *first* system failure within the horizon: for each
+/// basic event, the probability that the transition completing the failure
+/// (the last event to fail, in the order-aware sense of minimal cut
+/// sequences) belongs to that event. Computed exactly on a product chain
+/// whose failed states are split into per-cause absorbing sinks.
+struct attribution_result {
+  /// completing event -> probability its transition caused first failure.
+  std::unordered_map<node_index, double> by_event;
+
+  /// Probability the tree is already failed at time 0 (static failures
+  /// and instantly-triggered failures in the initial state).
+  double initially_failed = 0;
+
+  /// Total = initially_failed + sum of by_event
+  ///       = Pr[Reach<=t(F)] up to numerical accuracy.
+  double total = 0;
+};
+
+attribution_result failure_attribution(const sd_fault_tree& tree, double t,
+                                       double epsilon = 1e-10,
+                                       const product_options& options = {});
+
+}  // namespace sdft

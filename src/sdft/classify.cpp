@@ -1,0 +1,135 @@
+#include "sdft/classify.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+std::string to_string(trigger_class c) {
+  switch (c) {
+    case trigger_class::static_branching:
+      return "static-branching";
+    case trigger_class::static_joins:
+      return "static-joins";
+    case trigger_class::general:
+      return "general";
+  }
+  return "?";
+}
+
+bool is_dynamic_node(const sd_fault_tree& tree, node_index node) {
+  for (node_index n : tree.structure().descendants(node)) {
+    if (tree.structure().is_basic(n) && tree.is_dynamic(n)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Memoised per-node dynamicity over one subtree walk.
+std::unordered_map<node_index, bool> dynamic_map(const sd_fault_tree& tree,
+                                                 node_index root) {
+  std::unordered_map<node_index, bool> dyn;
+  // descendants() returns parents before children is not guaranteed, so
+  // resolve with an explicit post-order evaluation.
+  const auto& ft = tree.structure();
+  std::vector<std::pair<node_index, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (dyn.count(n)) continue;
+    if (ft.is_basic(n)) {
+      dyn[n] = tree.is_dynamic(n);
+      continue;
+    }
+    if (!expanded) {
+      stack.push_back({n, true});
+      for (node_index child : ft.node(n).inputs) {
+        if (!dyn.count(child)) stack.push_back({child, false});
+      }
+    } else {
+      bool d = false;
+      for (node_index child : ft.node(n).inputs) d = d || dyn.at(child);
+      dyn[n] = d;
+    }
+  }
+  return dyn;
+}
+
+}  // namespace
+
+bool has_static_branching(const sd_fault_tree& tree, node_index gate) {
+  const auto& ft = tree.structure();
+  const auto dyn = dynamic_map(tree, gate);
+  for (node_index n : ft.descendants(gate)) {
+    if (!ft.is_gate(n) || ft.node(n).type != gate_type::or_gate) continue;
+    int dynamic_children = 0;
+    for (node_index child : ft.node(n).inputs) {
+      if (dyn.at(child)) ++dynamic_children;
+    }
+    if (dynamic_children > 1) return false;
+  }
+  return true;
+}
+
+bool has_static_joins(const sd_fault_tree& tree, node_index gate) {
+  const auto& ft = tree.structure();
+  const auto dyn = dynamic_map(tree, gate);
+  for (node_index n : ft.descendants(gate)) {
+    if (!ft.is_gate(n) || ft.node(n).type != gate_type::and_gate) continue;
+    for (node_index child : ft.node(n).inputs) {
+      if (dyn.at(child)) return false;
+    }
+  }
+  return true;
+}
+
+bool has_uniform_triggering(const sd_fault_tree& tree, node_index gate) {
+  const auto& ft = tree.structure();
+  node_index common = fault_tree::npos;
+  bool first = true;
+  for (node_index n : ft.descendants(gate)) {
+    if (!ft.is_basic(n) || !tree.is_dynamic(n)) continue;
+    const node_index trig = tree.trigger_gate_of(n);
+    if (trig == fault_tree::npos) return false;  // untriggered dynamic event
+    if (first) {
+      common = trig;
+      first = false;
+    } else if (trig != common) {
+      return false;
+    }
+  }
+  return true;
+}
+
+trigger_class classify_trigger_gate(const sd_fault_tree& tree,
+                                    node_index gate) {
+  require_model(tree.structure().is_gate(gate),
+                "classify_trigger_gate: node is not a gate");
+  if (has_static_branching(tree, gate)) return trigger_class::static_branching;
+  if (has_static_joins(tree, gate)) return trigger_class::static_joins;
+  return trigger_class::general;
+}
+
+trigger_report analyze_triggers(const sd_fault_tree& tree) {
+  trigger_report report;
+  for (node_index g : tree.structure().gates()) {
+    if (tree.triggered_events(g).empty()) continue;
+    trigger_report::entry e;
+    e.gate = g;
+    e.cls = classify_trigger_gate(tree, g);
+    e.uniform_triggering = has_uniform_triggering(tree, g);
+    if (e.cls == trigger_class::general ||
+        (e.cls == trigger_class::static_joins && !e.uniform_triggering)) {
+      // General gates and non-uniform static joins are only safe at the
+      // start of triggering sequences (paper §V-C); flag the model so the
+      // user can predict quantification cost.
+      report.efficient = false;
+    }
+    report.gates.push_back(e);
+  }
+  return report;
+}
+
+}  // namespace sdft

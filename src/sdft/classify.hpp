@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+
+/// The tractability classes of trigger-gate subtrees (paper §V-A), ordered
+/// by the cost of the per-cutset quantification they induce:
+///  - static_branching: Rel_a = Dyn_a intersected with the cutset,
+///  - static_joins:     Rel_a = all dynamic events of the subtree,
+///  - general:          Rel_a = everything but static events of the cutset.
+enum class trigger_class { static_branching, static_joins, general };
+
+std::string to_string(trigger_class c);
+
+/// True iff the subtree of `gate` contains a dynamic basic event
+/// ("dynamic gate", paper §V-A). Also true when `gate` is itself a dynamic
+/// basic event, which lets the predicate run on arbitrary children.
+bool is_dynamic_node(const sd_fault_tree& tree, node_index node);
+
+/// Static branching: every OR gate in the subtree of `gate` (including
+/// `gate` itself) has at most one dynamic child.
+bool has_static_branching(const sd_fault_tree& tree, node_index gate);
+
+/// Static joins: no AND gate in the subtree of `gate` (including `gate`)
+/// has a dynamic child.
+bool has_static_joins(const sd_fault_tree& tree, node_index gate);
+
+/// Uniform triggering: every dynamic basic event under `gate` is triggered
+/// and all of them share one triggering gate (paper §V-A). Vacuously true
+/// when the subtree has no dynamic events.
+bool has_uniform_triggering(const sd_fault_tree& tree, node_index gate);
+
+/// The cheapest class `gate` qualifies for: static branching is preferred,
+/// then static joins, then the general case.
+trigger_class classify_trigger_gate(const sd_fault_tree& tree,
+                                    node_index gate);
+
+/// Diagnostic report on the triggering structure of a whole tree: for each
+/// triggering gate, its class, and whether chained static-joins triggers
+/// have the uniform-triggering property the paper requires for efficiency.
+struct trigger_report {
+  struct entry {
+    node_index gate;
+    trigger_class cls;
+    bool uniform_triggering;
+  };
+  std::vector<entry> gates;
+
+  /// True iff every triggering gate has static branching, or static joins
+  /// with uniform triggering — the paper's condition for guaranteed-small
+  /// per-cutset Markov chains (§V-C).
+  bool efficient = true;
+};
+
+trigger_report analyze_triggers(const sd_fault_tree& tree);
+
+}  // namespace sdft

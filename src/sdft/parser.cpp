@@ -1,0 +1,335 @@
+#include "sdft/parser.hpp"
+
+#include <istream>
+#include <map>
+#include <sstream>
+#include <variant>
+#include <vector>
+
+#include "ctmc/triggered.hpp"
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sdft {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw model_error("SD fault tree parse error, line " +
+                    std::to_string(line) + ": " + what);
+}
+
+double parse_number(const std::string& tok, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) fail(line, "trailing characters in number");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "cannot parse number '" + tok + "'");
+  }
+}
+
+std::uint32_t parse_index(const std::string& tok, std::size_t line,
+                          std::uint32_t bound) {
+  const double v = parse_number(tok, line);
+  const auto i = static_cast<std::uint32_t>(v);
+  if (v != static_cast<double>(i) || i >= bound) {
+    fail(line, "state index '" + tok + "' out of range");
+  }
+  return i;
+}
+
+struct gate_record {
+  std::string name;
+  gate_type type;
+  std::vector<std::string> children;
+  std::size_t line;
+};
+
+struct trigger_record {
+  std::string gate;
+  std::vector<std::string> events;
+  std::size_t line;
+};
+
+struct dyn_record {
+  std::string name;
+  dynamic_model model;
+  std::size_t line;
+};
+
+/// Parses one explicit chain block (after "dyn <name> chain <n>") up to
+/// the terminating "end" line.
+dynamic_model parse_chain_block(std::istream& in, std::size_t& line_no,
+                                std::uint32_t num_states) {
+  ctmc chain(num_states);
+  std::map<state_index, state_index> to_on;   // off -> on
+  std::map<state_index, state_index> to_off;  // on -> off
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tok = tokenize_line(line);
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+    if (cmd == "end") {
+      if (to_on.empty() && to_off.empty()) return chain;
+
+      // Triggered chain: S_on is exactly the key set of the off map.
+      triggered_ctmc model;
+      model.chain = std::move(chain);
+      const std::size_t n = model.chain.num_states();
+      model.on_state.assign(n, 0);
+      model.to_on.assign(n, 0);
+      model.to_off.assign(n, 0);
+      for (const auto& [on, off] : to_off) {
+        model.on_state[on] = 1;
+        model.to_off[on] = off;
+      }
+      for (const auto& [off, on] : to_on) {
+        if (model.on_state[off]) {
+          fail(line_no, "state " + std::to_string(off) +
+                            " used both as on- and off-state");
+        }
+        model.to_on[off] = on;
+      }
+      for (state_index s = 0; s < n; ++s) {
+        if (!model.on_state[s] && to_on.find(s) == to_on.end()) {
+          fail(line_no,
+               "off-state " + std::to_string(s) + " has no 'on' mapping");
+        }
+      }
+      try {
+        model.validate();
+      } catch (const model_error& e) {
+        fail(line_no, e.what());
+      }
+      return model;
+    }
+    if (cmd == "init") {
+      if (tok.size() != 3) fail(line_no, "expected: init <state> <p>");
+      chain.set_initial(parse_index(tok[1], line_no, num_states),
+                        parse_number(tok[2], line_no));
+    } else if (cmd == "failed") {
+      if (tok.size() < 2) fail(line_no, "expected: failed <state> ...");
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        chain.set_failed(parse_index(tok[i], line_no, num_states));
+      }
+    } else if (cmd == "rate") {
+      if (tok.size() != 4) fail(line_no, "expected: rate <from> <to> <l>");
+      chain.add_rate(parse_index(tok[1], line_no, num_states),
+                     parse_index(tok[2], line_no, num_states),
+                     parse_number(tok[3], line_no));
+    } else if (cmd == "on") {
+      if (tok.size() != 3) fail(line_no, "expected: on <off> <on>");
+      to_on[parse_index(tok[1], line_no, num_states)] =
+          parse_index(tok[2], line_no, num_states);
+    } else if (cmd == "off") {
+      if (tok.size() != 3) fail(line_no, "expected: off <on> <off>");
+      to_off[parse_index(tok[1], line_no, num_states)] =
+          parse_index(tok[2], line_no, num_states);
+    } else {
+      fail(line_no, "unknown chain directive '" + cmd + "'");
+    }
+  }
+  fail(line_no, "chain block not terminated by 'end'");
+}
+
+}  // namespace
+
+sd_fault_tree parse_sd_fault_tree(std::istream& in) {
+  sd_fault_tree tree;
+  std::vector<gate_record> gates;
+  std::vector<trigger_record> triggers;
+  std::string top_name;
+  std::size_t top_line = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tok = tokenize_line(line);
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+    if (cmd == "be") {
+      if (tok.size() != 3) fail(line_no, "expected: be <name> <prob>");
+      tree.add_static_event(tok[1], parse_number(tok[2], line_no));
+    } else if (cmd == "and" || cmd == "or") {
+      if (tok.size() < 2) fail(line_no, "expected: " + cmd + " <name> ...");
+      gates.push_back({tok[1],
+                       cmd == "and" ? gate_type::and_gate : gate_type::or_gate,
+                       {tok.begin() + 2, tok.end()},
+                       line_no});
+    } else if (cmd == "top") {
+      if (tok.size() != 2) fail(line_no, "expected: top <name>");
+      if (!top_name.empty()) fail(line_no, "duplicate top declaration");
+      top_name = tok[1];
+      top_line = line_no;
+    } else if (cmd == "dyn") {
+      if (tok.size() < 3) fail(line_no, "expected: dyn <name> <kind> ...");
+      const std::string& kind = tok[2];
+      if (kind == "erlang") {
+        if (tok.size() != 6) {
+          fail(line_no, "expected: dyn <name> erlang <k> <lambda> <mu>");
+        }
+        tree.add_dynamic_event(
+            tok[1], make_erlang_active(
+                        static_cast<int>(parse_number(tok[3], line_no)),
+                        parse_number(tok[4], line_no),
+                        parse_number(tok[5], line_no)));
+      } else if (kind == "erlang-triggered") {
+        if (tok.size() != 7) {
+          fail(line_no,
+               "expected: dyn <name> erlang-triggered <k> <lambda> <mu> "
+               "<passive-factor>");
+        }
+        tree.add_dynamic_event(
+            tok[1], make_erlang_triggered(
+                        static_cast<int>(parse_number(tok[3], line_no)),
+                        parse_number(tok[4], line_no),
+                        parse_number(tok[5], line_no),
+                        parse_number(tok[6], line_no)));
+      } else if (kind == "chain") {
+        if (tok.size() != 4) {
+          fail(line_no, "expected: dyn <name> chain <num-states>");
+        }
+        const auto n = static_cast<std::uint32_t>(
+            parse_number(tok[3], line_no));
+        if (n == 0) fail(line_no, "chain needs at least one state");
+        dynamic_model model = parse_chain_block(in, line_no, n);
+        if (std::holds_alternative<ctmc>(model)) {
+          tree.add_dynamic_event(tok[1], std::get<ctmc>(std::move(model)));
+        } else {
+          tree.add_dynamic_event(
+              tok[1], std::get<triggered_ctmc>(std::move(model)));
+        }
+      } else {
+        fail(line_no, "unknown dynamic event kind '" + kind + "'");
+      }
+    } else if (cmd == "trigger") {
+      if (tok.size() < 3) fail(line_no, "expected: trigger <gate> <event>...");
+      triggers.push_back({tok[1], {tok.begin() + 2, tok.end()}, line_no});
+    } else {
+      fail(line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+
+  // Wire gates (two passes: create, then connect forward references).
+  for (const auto& rec : gates) tree.add_gate(rec.name, rec.type);
+  const fault_tree& ft = tree.structure();
+  for (const auto& rec : gates) {
+    const node_index g = ft.find(rec.name);
+    for (const auto& child : rec.children) {
+      const node_index c = ft.find(child);
+      if (c == fault_tree::npos) {
+        fail(rec.line, "gate '" + rec.name + "' references undeclared node '" +
+                           child + "'");
+      }
+      tree.add_input(g, c);
+    }
+  }
+  for (const auto& rec : triggers) {
+    const node_index g = ft.find(rec.gate);
+    if (g == fault_tree::npos || !ft.is_gate(g)) {
+      fail(rec.line, "trigger source '" + rec.gate + "' is not a gate");
+    }
+    for (const auto& event : rec.events) {
+      const node_index e = ft.find(event);
+      if (e == fault_tree::npos) {
+        fail(rec.line, "trigger target '" + event + "' is not declared");
+      }
+      try {
+        tree.set_trigger(g, e);
+      } catch (const model_error& err) {
+        fail(rec.line, err.what());
+      }
+    }
+  }
+  if (top_name.empty()) fail(line_no == 0 ? 1 : line_no, "no top declaration");
+  const node_index top = ft.find(top_name);
+  if (top == fault_tree::npos || !ft.is_gate(top)) {
+    fail(top_line, "top '" + top_name + "' is not a declared gate");
+  }
+  tree.set_top(top);
+  try {
+    tree.validate();
+  } catch (const model_error& e) {
+    throw model_error(std::string("SD fault tree parse error: ") + e.what());
+  }
+  return tree;
+}
+
+sd_fault_tree parse_sd_fault_tree_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_sd_fault_tree(in);
+}
+
+std::string write_sd_fault_tree(const sd_fault_tree& tree) {
+  std::ostringstream out;
+  out.precision(17);
+  const fault_tree& ft = tree.structure();
+
+  for (node_index i = 0; i < ft.size(); ++i) {
+    if (!ft.is_basic(i)) continue;
+    const auto& node = ft.node(i);
+    if (!tree.is_dynamic(i)) {
+      out << "be " << node.name << ' ' << node.probability << '\n';
+      continue;
+    }
+    const dynamic_model& model = tree.model_of(i);
+    const bool triggered = std::holds_alternative<triggered_ctmc>(model);
+    const ctmc& chain = triggered ? std::get<triggered_ctmc>(model).chain
+                                  : std::get<ctmc>(model);
+    out << "dyn " << node.name << " chain " << chain.num_states() << '\n';
+    for (state_index s = 0; s < chain.num_states(); ++s) {
+      if (chain.initial(s) > 0.0) {
+        out << "  init " << s << ' ' << chain.initial(s) << '\n';
+      }
+    }
+    const auto failed = chain.failed_states();
+    if (!failed.empty()) {
+      out << "  failed";
+      for (state_index s : failed) out << ' ' << s;
+      out << '\n';
+    }
+    for (state_index s = 0; s < chain.num_states(); ++s) {
+      for (const auto& [to, rate] : chain.transitions_from(s)) {
+        out << "  rate " << s << ' ' << to << ' ' << rate << '\n';
+      }
+    }
+    if (triggered) {
+      const auto& trig = std::get<triggered_ctmc>(model);
+      for (state_index s = 0; s < chain.num_states(); ++s) {
+        if (trig.on_state[s]) {
+          out << "  off " << s << ' ' << trig.to_off[s] << '\n';
+        } else {
+          out << "  on " << s << ' ' << trig.to_on[s] << '\n';
+        }
+      }
+    }
+    out << "end\n";
+  }
+
+  for (node_index i = 0; i < ft.size(); ++i) {
+    if (!ft.is_gate(i)) continue;
+    const auto& node = ft.node(i);
+    out << (node.type == gate_type::and_gate ? "and " : "or ") << node.name;
+    for (node_index child : node.inputs) out << ' ' << ft.node(child).name;
+    out << '\n';
+  }
+  for (node_index i = 0; i < ft.size(); ++i) {
+    if (!ft.is_gate(i)) continue;
+    const auto events = tree.triggered_events(i);
+    if (events.empty()) continue;
+    out << "trigger " << ft.node(i).name;
+    for (node_index e : events) out << ' ' << ft.node(e).name;
+    out << '\n';
+  }
+  if (ft.top() != fault_tree::npos) {
+    out << "top " << ft.node(ft.top()).name << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sdft

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+
+/// Line-oriented text format for SD fault trees, extending the static
+/// format of ft/parser.hpp:
+///
+/// ```
+/// be   <name> <probability>          # static basic event
+/// and  <name> [<child> ...]          # gates; children may be forward refs
+/// or   <name> [<child> ...]
+/// top  <name>
+///
+/// dyn  <name> erlang <phases> <lambda> <mu>
+///      # untriggered Erlang chain, active from time 0
+/// dyn  <name> erlang-triggered <phases> <lambda> <mu> <passive-factor>
+///      # triggered Erlang chain; pair with a trigger line
+/// dyn  <name> chain <num-states>     # explicit CTMC block, ends with "end"
+///   init   <state> <p>
+///   failed <state> [<state> ...]
+///   rate   <from> <to> <lambda>
+///   on     <off-state> <on-state>    # switching maps; their presence makes
+///   off    <on-state> <off-state>    # the chain a triggered CTMC
+/// end
+///
+/// trigger <gate> <event> [<event> ...]
+/// ```
+///
+/// The chain block's on/off lines must form total maps between the two
+/// state classes (S_on = the keys of "off" lines). Throws model_error with
+/// a line number on any problem.
+sd_fault_tree parse_sd_fault_tree(std::istream& in);
+sd_fault_tree parse_sd_fault_tree_string(const std::string& text);
+
+/// Serialises `tree` in the format accepted by parse_sd_fault_tree().
+/// Dynamic events are written as explicit chain blocks (factory-built
+/// chains do not round-trip to their factory form, only to their states).
+std::string write_sd_fault_tree(const sd_fault_tree& tree);
+
+}  // namespace sdft

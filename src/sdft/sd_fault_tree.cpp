@@ -1,0 +1,158 @@
+#include "sdft/sd_fault_tree.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+node_index sd_fault_tree::add_static_event(std::string name, double p) {
+  return ft_.add_basic_event(std::move(name), p);
+}
+
+node_index sd_fault_tree::add_dynamic_event(std::string name, ctmc chain,
+                                            double reference_p) {
+  chain.validate();
+  const node_index idx = ft_.add_basic_event(std::move(name), reference_p);
+  dynamic_.emplace(idx, std::move(chain));
+  return idx;
+}
+
+node_index sd_fault_tree::add_dynamic_event(std::string name,
+                                            triggered_ctmc model,
+                                            double reference_p) {
+  model.validate();
+  const node_index idx = ft_.add_basic_event(std::move(name), reference_p);
+  dynamic_.emplace(idx, std::move(model));
+  return idx;
+}
+
+double sd_fault_tree::reference_probability(node_index event) const {
+  require_model(is_dynamic(event),
+                "sd_fault_tree: node is not a dynamic basic event");
+  return ft_.node(event).probability;
+}
+
+void sd_fault_tree::make_dynamic(node_index event, ctmc chain) {
+  chain.validate();
+  require_model(event < ft_.size() && is_static(event),
+                "sd_fault_tree: make_dynamic target must be a static event");
+  dynamic_.emplace(event, std::move(chain));
+}
+
+void sd_fault_tree::make_dynamic(node_index event, triggered_ctmc model) {
+  model.validate();
+  require_model(event < ft_.size() && is_static(event),
+                "sd_fault_tree: make_dynamic target must be a static event");
+  dynamic_.emplace(event, std::move(model));
+}
+
+node_index sd_fault_tree::add_gate(std::string name, gate_type type,
+                                   std::vector<node_index> inputs) {
+  return ft_.add_gate(std::move(name), type, std::move(inputs));
+}
+
+void sd_fault_tree::add_input(node_index gate, node_index input) {
+  ft_.add_input(gate, input);
+}
+
+void sd_fault_tree::set_top(node_index gate) { ft_.set_top(gate); }
+
+void sd_fault_tree::set_trigger(node_index gate, node_index event) {
+  require_model(gate < ft_.size() && ft_.is_gate(gate),
+                "sd_fault_tree: trigger source must be a gate");
+  require_model(is_dynamic(event),
+                "sd_fault_tree: triggered node must be a dynamic basic event");
+  require_model(has_triggered_model(event),
+                "sd_fault_tree: triggered event needs a triggered CTMC model");
+  require_model(trigger_of_.find(event) == trigger_of_.end(),
+                "sd_fault_tree: event '" + ft_.node(event).name +
+                    "' already has a triggering gate");
+  trigger_of_.emplace(event, gate);
+  triggers_[gate].push_back(event);
+}
+
+const dynamic_model& sd_fault_tree::model_of(node_index event) const {
+  auto it = dynamic_.find(event);
+  require_model(it != dynamic_.end(),
+                "sd_fault_tree: node is not a dynamic basic event");
+  return it->second;
+}
+
+bool sd_fault_tree::has_triggered_model(node_index event) const {
+  return std::holds_alternative<triggered_ctmc>(model_of(event));
+}
+
+node_index sd_fault_tree::trigger_gate_of(node_index event) const {
+  auto it = trigger_of_.find(event);
+  return it == trigger_of_.end() ? fault_tree::npos : it->second;
+}
+
+std::vector<node_index> sd_fault_tree::triggered_events(
+    node_index gate) const {
+  auto it = triggers_.find(gate);
+  return it == triggers_.end() ? std::vector<node_index>{} : it->second;
+}
+
+std::vector<node_index> sd_fault_tree::dynamic_events() const {
+  std::vector<node_index> out;
+  for (node_index b : ft_.basic_events()) {
+    if (is_dynamic(b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<node_index> sd_fault_tree::static_events() const {
+  std::vector<node_index> out;
+  for (node_index b : ft_.basic_events()) {
+    if (!is_dynamic(b)) out.push_back(b);
+  }
+  return out;
+}
+
+void sd_fault_tree::validate() const {
+  ft_.validate();
+
+  for (const auto& [event, model] : dynamic_) {
+    const bool triggered_model = std::holds_alternative<triggered_ctmc>(model);
+    const bool has_trigger = trigger_of_.find(event) != trigger_of_.end();
+    require_model(
+        triggered_model == has_trigger,
+        "sd_fault_tree: dynamic event '" + ft_.node(event).name +
+            "' must have a triggered CTMC model iff it has a triggering gate");
+    if (triggered_model) {
+      std::get<triggered_ctmc>(model).validate();
+    } else {
+      std::get<ctmc>(model).validate();
+    }
+  }
+
+  // Acyclicity of tree edges (gate -> input) enriched with reversed trigger
+  // edges (event -> triggering gate), paper §III-B. A cycle here is exactly
+  // a triggering deadlock.
+  enum : char { white, grey, black };
+  std::vector<char> colour(ft_.size(), white);
+  const std::function<void(node_index)> visit = [&](node_index n) {
+    colour[n] = grey;
+    const auto step = [&](node_index next) {
+      if (colour[next] == grey) {
+        throw model_error(
+            "sd_fault_tree: cyclic trigger dependency through '" +
+            ft_.node(next).name + "'");
+      }
+      if (colour[next] == white) visit(next);
+    };
+    for (node_index child : ft_.node(n).inputs) step(child);
+    if (ft_.is_basic(n)) {
+      const node_index g = trigger_gate_of(n);
+      if (g != fault_tree::npos) step(g);
+    }
+    colour[n] = black;
+  };
+  for (node_index n = 0; n < ft_.size(); ++n) {
+    if (colour[n] == white) visit(n);
+  }
+}
+
+}  // namespace sdft

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/triggered.hpp"
+#include "ft/fault_tree.hpp"
+
+namespace sdft {
+
+/// The stochastic model of a dynamic basic event (paper §III-B):
+/// an untriggered event evolves from time 0 as a plain CTMC; a triggered
+/// event is a triggered CTMC switched by the failure of its triggering gate.
+using dynamic_model = std::variant<ctmc, triggered_ctmc>;
+
+/// A static and dynamic (SD) fault tree (paper §III-B).
+///
+/// Structurally a coherent AND/OR fault tree whose leaves are partitioned
+/// into static basic events (carrying a failure probability) and dynamic
+/// basic events (carrying a CTMC). Failures of gates may trigger dynamic
+/// basic events; each dynamic event has at most one triggering gate and the
+/// trigger structure must be acyclic together with the tree edges.
+class sd_fault_tree {
+ public:
+  sd_fault_tree() = default;
+
+  /// Adopts an existing static fault tree; node indices are preserved.
+  /// Basic events can subsequently be promoted with make_dynamic(), which
+  /// is how the generators enrich legacy static studies (paper §VI-B).
+  explicit sd_fault_tree(fault_tree base) : ft_(std::move(base)) {}
+
+  /// The underlying DAG. Dynamic basic events appear as basic events with
+  /// probability 0 (their quantification comes from their chains).
+  const fault_tree& structure() const { return ft_; }
+  fault_tree& structure() { return ft_; }
+
+  node_index add_static_event(std::string name, double p);
+
+  /// Adds an untriggered dynamic basic event (active from time 0).
+  /// `reference_p` is an optional legacy static probability for the event
+  /// (the value a static study would use); it is retained on the node and
+  /// can drive the paper's "static cutoff" during MCS generation (§VI).
+  node_index add_dynamic_event(std::string name, ctmc chain,
+                               double reference_p = 0.0);
+
+  /// Adds a dynamic basic event that must be given a trigger with
+  /// set_trigger() before the tree validates.
+  node_index add_dynamic_event(std::string name, triggered_ctmc model,
+                               double reference_p = 0.0);
+
+  /// Promotes an existing static basic event to an untriggered dynamic
+  /// one. Its static probability is retained as the reference probability.
+  void make_dynamic(node_index event, ctmc chain);
+
+  /// Promotes an existing static basic event to a triggered dynamic one;
+  /// pair with set_trigger() before validate(). The static probability is
+  /// retained as the reference probability.
+  void make_dynamic(node_index event, triggered_ctmc model);
+
+  /// The reference static probability of a dynamic event (0 if none).
+  double reference_probability(node_index event) const;
+
+  node_index add_gate(std::string name, gate_type type,
+                      std::vector<node_index> inputs = {});
+  void add_input(node_index gate, node_index input);
+  void set_top(node_index gate);
+
+  /// Declares that the failure of `gate` triggers `event` (a dynamic basic
+  /// event with a triggered_ctmc model). An event can be triggered by at
+  /// most one gate (paper §III-B; connect multiple would-be triggering
+  /// gates by an OR first).
+  void set_trigger(node_index gate, node_index event);
+
+  bool is_dynamic(node_index n) const { return dynamic_.count(n) > 0; }
+  bool is_static(node_index n) const {
+    return ft_.is_basic(n) && !is_dynamic(n);
+  }
+
+  const dynamic_model& model_of(node_index event) const;
+
+  /// True iff the dynamic event carries a triggered_ctmc model.
+  bool has_triggered_model(node_index event) const;
+
+  /// The gate triggering `event`, or fault_tree::npos if none.
+  node_index trigger_gate_of(node_index event) const;
+
+  /// The dynamic events triggered by `gate` (empty for most gates).
+  std::vector<node_index> triggered_events(node_index gate) const;
+
+  std::vector<node_index> dynamic_events() const;
+  std::vector<node_index> static_events() const;
+
+  /// Full well-formedness check (paper §III-B): the structure validates,
+  /// every chain validates, triggered models are exactly the triggered
+  /// events, and the graph with reversed trigger edges is acyclic.
+  /// Throws model_error.
+  void validate() const;
+
+ private:
+  fault_tree ft_;
+  std::unordered_map<node_index, dynamic_model> dynamic_;
+  std::unordered_map<node_index, node_index> trigger_of_;  // event -> gate
+  std::unordered_map<node_index, std::vector<node_index>> triggers_;
+};
+
+}  // namespace sdft

@@ -1,0 +1,81 @@
+#include "sdft/translate.hpp"
+
+#include <functional>
+
+#include "ctmc/transient.hpp"
+#include "ctmc/triggered.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+
+static_translation translate_to_static(const sd_fault_tree& tree, double t,
+                                       double epsilon,
+                                       bool reference_cutoff) {
+  tree.validate();
+  static_translation out;
+  const fault_tree& src = tree.structure();
+
+  // Worst-case probabilities for dynamic events (paper §V-B2).
+  for (node_index e : tree.dynamic_events()) {
+    const dynamic_model& model = tree.model_of(e);
+    double p;
+    if (std::holds_alternative<triggered_ctmc>(model)) {
+      p = worst_case_failure_probability(std::get<triggered_ctmc>(model), t,
+                                         epsilon);
+    } else {
+      p = reach_failed_probability(std::get<ctmc>(model), t, epsilon);
+    }
+    out.worst_case.emplace(e, p);
+  }
+
+  // copy(n): the ft_bar node standing for the SD node n as a *subtree root*
+  // (for a triggered event that is the bare event; parents reference it via
+  // wrapper(n) instead). Recursion over tree edges plus trigger edges
+  // terminates because the combined graph is acyclic (validated above).
+  std::unordered_map<node_index, node_index> wrapper;
+  const std::function<node_index(node_index)> copy =
+      [&](node_index n) -> node_index {
+    auto it = out.to_bar.find(n);
+    if (it != out.to_bar.end()) return it->second;
+    node_index bar;
+    const ft_node& node = src.node(n);
+    if (src.is_basic(n)) {
+      double p = node.probability;
+      if (tree.is_dynamic(n) && !(reference_cutoff && p > 0.0)) {
+        p = out.worst_case.at(n);
+      }
+      bar = out.ft_bar.add_basic_event(node.name, p);
+      out.to_sd.emplace(bar, n);
+    } else {
+      std::vector<node_index> inputs;
+      inputs.reserve(node.inputs.size());
+      for (node_index child : node.inputs) {
+        // Triggered dynamic events are referenced through their AND wrapper.
+        if (src.is_basic(child) &&
+            tree.trigger_gate_of(child) != fault_tree::npos) {
+          auto wit = wrapper.find(child);
+          if (wit == wrapper.end()) {
+            const node_index child_bar = copy(child);
+            const node_index gate_bar = copy(tree.trigger_gate_of(child));
+            const node_index wrap = out.ft_bar.add_gate(
+                src.node(child).name + "::trig", gate_type::and_gate,
+                {child_bar, gate_bar});
+            wit = wrapper.emplace(child, wrap).first;
+          }
+          inputs.push_back(wit->second);
+        } else {
+          inputs.push_back(copy(child));
+        }
+      }
+      bar = out.ft_bar.add_gate(node.name, node.type, inputs);
+    }
+    out.to_bar.emplace(n, bar);
+    return bar;
+  };
+
+  out.ft_bar.set_top(copy(src.top()));
+  out.ft_bar.validate();
+  return out;
+}
+
+}  // namespace sdft

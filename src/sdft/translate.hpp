@@ -1,0 +1,48 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "ft/fault_tree.hpp"
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+
+/// The static fault tree FT-bar induced by an SD fault tree (paper §V-B):
+/// same minimal cutsets, with trigger edges compiled into AND gates and
+/// dynamic events carrying worst-case static probabilities.
+struct static_translation {
+  fault_tree ft_bar;
+
+  /// node in the SD tree -> corresponding node in ft_bar (basic events and
+  /// gates; trigger-wrapper AND gates of ft_bar have no preimage).
+  std::unordered_map<node_index, node_index> to_bar;
+
+  /// basic event in ft_bar -> originating basic event in the SD tree.
+  std::unordered_map<node_index, node_index> to_sd;
+
+  /// Worst-case probability p(a) assigned to each dynamic basic event
+  /// (paper §V-B2), keyed by SD-tree node index.
+  std::unordered_map<node_index, double> worst_case;
+};
+
+/// Builds FT-bar for `tree` with horizon `t`:
+///  - each triggered dynamic event b with triggering gate g becomes an AND
+///    gate over (b, g), and all former parents of b point to that AND;
+///  - every dynamic event gets the worst-case probability that it fails at
+///    least once within t ("triggered at 0, never untriggered");
+///  - trigger edges are dropped.
+///
+/// The result has exactly the minimal cutsets of `tree` (paper §V-B1), and
+/// the MOCUS cutoff on it is conservative with respect to the dynamic
+/// quantification (paper eq. (1)).
+///
+/// With `reference_cutoff` set, dynamic events that carry a non-zero
+/// reference static probability use it in FT-bar instead of the worst
+/// case — the paper's "static cutoff" (§VI), which keeps the generated
+/// cutset list independent of the dynamic models (e.g. of the Erlang phase
+/// count). The worst-case map is still computed and returned.
+static_translation translate_to_static(const sd_fault_tree& tree, double t,
+                                       double epsilon = 1e-10,
+                                       bool reference_cutoff = false);
+
+}  // namespace sdft

@@ -1,0 +1,97 @@
+#include "util/fox_glynn.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace sdft {
+
+double log_factorial(std::size_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+namespace {
+
+/// log P[X = k] for X ~ Poisson(lambda).
+double log_poisson_pmf(double lambda, std::size_t k) {
+  if (lambda == 0.0) return k == 0 ? 0.0 : -HUGE_VAL;
+  return -lambda + static_cast<double>(k) * std::log(lambda) -
+         log_factorial(k);
+}
+
+}  // namespace
+
+poisson_window fox_glynn(double lambda, double epsilon) {
+  if (!(lambda >= 0.0)) throw numeric_error("fox_glynn: lambda must be >= 0");
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    throw numeric_error("fox_glynn: epsilon must be in (0, 1)");
+  }
+
+  poisson_window w;
+  if (lambda == 0.0) {
+    w.left = w.right = 0;
+    w.weights = {1.0};
+    return w;
+  }
+
+  // Walk outwards from the mode until the cumulative retained mass reaches
+  // 1 - epsilon. Working in log space keeps this stable for large lambda.
+  const auto mode = static_cast<std::size_t>(std::floor(lambda));
+  const double log_mode = log_poisson_pmf(lambda, mode);
+
+  // Collect log-pmf values left and right of the mode. The pmf at distance d
+  // from the mode decays superexponentially, so the loop terminates quickly.
+  std::vector<double> right_logs{log_mode};  // mode, mode+1, ...
+  std::vector<double> left_logs;             // mode-1, mode-2, ...
+
+  double mass = std::exp(log_mode);  // retained probability mass so far
+  const double target = 1.0 - epsilon;
+  std::size_t lo = mode;
+  std::size_t hi = mode;
+  double log_lo = log_mode;
+  double log_hi = log_mode;
+
+  while (mass < target) {
+    // Extend on whichever side currently has the larger next term.
+    const double next_hi_log =
+        log_hi + std::log(lambda) -
+        std::log(static_cast<double>(hi) + 1.0);
+    const double next_lo_log =
+        lo == 0 ? -HUGE_VAL
+                : log_lo + std::log(static_cast<double>(lo)) - std::log(lambda);
+    if (next_hi_log >= next_lo_log) {
+      ++hi;
+      log_hi = next_hi_log;
+      right_logs.push_back(log_hi);
+      mass += std::exp(log_hi);
+    } else {
+      --lo;
+      log_lo = next_lo_log;
+      left_logs.push_back(log_lo);
+      mass += std::exp(log_lo);
+    }
+    if (hi > mode + 100000000) {
+      throw numeric_error("fox_glynn: window failed to converge");
+    }
+  }
+
+  w.left = lo;
+  w.right = hi;
+  w.weights.resize(hi - lo + 1);
+  for (std::size_t i = 0; i < left_logs.size(); ++i) {
+    w.weights[mode - lo - 1 - i] = std::exp(left_logs[i]);
+  }
+  for (std::size_t i = 0; i < right_logs.size(); ++i) {
+    w.weights[mode - lo + i] = std::exp(right_logs[i]);
+  }
+
+  // Normalise the window so downstream mixtures of distributions stay
+  // substochastic only through genuine absorption, not truncation.
+  double total = 0.0;
+  for (double v : w.weights) total += v;
+  for (double& v : w.weights) v /= total;
+  return w;
+}
+
+}  // namespace sdft

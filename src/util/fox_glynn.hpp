@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sdft {
+
+/// Truncated, normalised Poisson probabilities for uniformisation.
+///
+/// For a Poisson distribution with mean `lambda`, holds weights
+/// `weight[k - left]` approximating P[X = k] for k in [left, right] such that
+/// the truncated tail mass is below the requested accuracy. Computed in the
+/// spirit of Fox & Glynn (1988): find the mode, recurse outwards in log space,
+/// rescale to avoid under-/overflow, then normalise the retained window.
+struct poisson_window {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  std::vector<double> weights;  ///< size right - left + 1, sums to ~1.
+
+  double weight(std::size_t k) const {
+    return (k < left || k > right) ? 0.0 : weights[k - left];
+  }
+};
+
+/// Computes the truncated Poisson window for mean `lambda >= 0` with total
+/// truncated mass at most `epsilon`.
+///
+/// Throws numeric_error for invalid parameters (negative lambda, epsilon
+/// outside (0, 1)).
+poisson_window fox_glynn(double lambda, double epsilon);
+
+/// log(n!) via lgamma; exposed for tests.
+double log_factorial(std::size_t n);
+
+}  // namespace sdft

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sdft {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+///
+/// Deterministic across platforms for a given seed, which the synthetic model
+/// generators rely on: a model is fully identified by its parameters + seed.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words from `seed` via SplitMix64.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sdft

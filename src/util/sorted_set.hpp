@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace sdft {
+
+/// Operations on sets represented as sorted, duplicate-free vectors.
+///
+/// Cutsets are small (usually 2-8 elements), so sorted vectors beat
+/// node-based sets and hash sets both in memory and in time; these helpers
+/// keep the representation invariant in one place.
+namespace sorted_set {
+
+/// Sorts and deduplicates `v` in place, establishing the representation.
+template <typename T>
+void normalize(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+template <typename T>
+bool contains(const std::vector<T>& v, const T& x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// True iff `sub` is a subset of `super` (both normalized).
+template <typename T>
+bool is_subset(const std::vector<T>& sub, const std::vector<T>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+/// Inserts `x` keeping the representation; no-op if already present.
+template <typename T>
+void insert(std::vector<T>& v, const T& x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+/// Removes `x` if present.
+template <typename T>
+void erase(std::vector<T>& v, const T& x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) v.erase(it);
+}
+
+template <typename T>
+std::vector<T> set_union(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+std::vector<T> set_intersection(const std::vector<T>& a,
+                                const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+std::vector<T> set_difference(const std::vector<T>& a,
+                              const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace sorted_set
+}  // namespace sdft

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace sdft {
+
+/// Wall-clock stopwatch used by the analysis pipeline and the benchmark
+/// harness to report per-phase timings.
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sdft

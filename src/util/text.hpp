@@ -1,0 +1,21 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sdft {
+
+/// Splits `line` on whitespace; '#' starts a comment running to end of line.
+inline std::vector<std::string> tokenize_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok.front() == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+}  // namespace sdft

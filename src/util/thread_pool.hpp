@@ -1,0 +1,56 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sdft {
+
+/// Fixed-size thread pool used to quantify minimal cutsets in parallel.
+///
+/// Deliberately minimal: submit() enqueues void() jobs, wait_idle() blocks
+/// until every submitted job has finished. Exceptions escaping a job
+/// terminate the process (jobs are expected to capture and report their own
+/// failures), matching the pipeline's use where a failing quantification is
+/// recorded in the per-MCS result instead of thrown.
+class thread_pool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit thread_pool(std::size_t threads = 0);
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  ~thread_pool();
+
+  /// Enqueues a job for asynchronous execution.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+/// With an empty pool (threads == 0 resolved to 1 worker) this still works;
+/// for n == 0 it returns immediately.
+void parallel_for(thread_pool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace sdft

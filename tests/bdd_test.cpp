@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "bdd/ft_bdd.hpp"
+#include "mcs/mocus.hpp"
+#include "test_models.hpp"
+#include "util/rng.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(Bdd, TerminalAndVarBasics) {
+  bdd_manager m;
+  EXPECT_NE(m.zero(), m.one());
+  const bdd_ref x = m.var(0);
+  EXPECT_EQ(m.var(0), x);  // unique table canonicalises
+  EXPECT_EQ(m.bdd_and(x, m.one()), x);
+  EXPECT_EQ(m.bdd_and(x, m.zero()), m.zero());
+  EXPECT_EQ(m.bdd_or(x, m.zero()), x);
+  EXPECT_EQ(m.bdd_or(x, m.one()), m.one());
+}
+
+TEST(Bdd, AndOrAreCanonical) {
+  bdd_manager m;
+  const bdd_ref x = m.var(0);
+  const bdd_ref y = m.var(1);
+  EXPECT_EQ(m.bdd_and(x, y), m.bdd_and(y, x));
+  EXPECT_EQ(m.bdd_or(x, y), m.bdd_or(y, x));
+  // Distributivity: x & (y | x) == x.
+  EXPECT_EQ(m.bdd_and(x, m.bdd_or(y, x)), x);
+}
+
+TEST(Bdd, NotIsInvolutive) {
+  bdd_manager m;
+  const bdd_ref x = m.var(0);
+  const bdd_ref y = m.var(1);
+  const bdd_ref f = m.bdd_or(m.bdd_and(x, y), m.bdd_not(y));
+  EXPECT_EQ(m.bdd_not(m.bdd_not(f)), f);
+  EXPECT_EQ(m.bdd_or(f, m.bdd_not(f)), m.one());
+  EXPECT_EQ(m.bdd_and(f, m.bdd_not(f)), m.zero());
+}
+
+TEST(Bdd, RestrictFixesVariables) {
+  bdd_manager m;
+  const bdd_ref x = m.var(0);
+  const bdd_ref y = m.var(1);
+  const bdd_ref f = m.bdd_and(x, y);
+  EXPECT_EQ(m.restrict_var(f, 0, true), y);
+  EXPECT_EQ(m.restrict_var(f, 0, false), m.zero());
+  EXPECT_EQ(m.restrict_var(f, 1, true), x);
+}
+
+TEST(Bdd, ProbabilityShannon) {
+  bdd_manager m;
+  const bdd_ref x = m.var(0);
+  const bdd_ref y = m.var(1);
+  const std::vector<double> p{0.3, 0.5};
+  EXPECT_NEAR(m.probability(m.bdd_and(x, y), p), 0.15, 1e-15);
+  EXPECT_NEAR(m.probability(m.bdd_or(x, y), p), 0.65, 1e-15);
+  EXPECT_NEAR(m.probability(m.one(), p), 1.0, 1e-15);
+  EXPECT_NEAR(m.probability(m.zero(), p), 0.0, 1e-15);
+}
+
+TEST(Bdd, MinimalSolutionsOfRedundantFunction) {
+  bdd_manager m;
+  const bdd_ref x = m.var(0);
+  const bdd_ref y = m.var(1);
+  // f = x | (x & y): the only minimal solution is {x}.
+  const bdd_ref f = m.bdd_or(x, m.bdd_and(x, y));
+  const auto products = m.enumerate_products(m.minimal_solutions(f));
+  ASSERT_EQ(products.size(), 1u);
+  EXPECT_EQ(products[0], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(FtBdd, ExactProbabilityMatchesBruteForce) {
+  const fault_tree ft = testing::example1_static();
+  const ft_bdd compiled(ft);
+  EXPECT_NEAR(compiled.probability(), ft.probability_brute_force(), 1e-15);
+}
+
+TEST(FtBdd, ProbabilityWithOverrides) {
+  const fault_tree ft = testing::example1_static();
+  const ft_bdd compiled(ft);
+  // Setting the tank to certainty makes the system fail with certainty.
+  EXPECT_NEAR(compiled.probability({{ft.find("e"), 1.0}}), 1.0, 1e-15);
+  // Setting it to zero leaves only the pump contribution.
+  const double p_pump =
+      1.0 - (1.0 - testing::p_fts) * (1.0 - testing::p_fio);
+  EXPECT_NEAR(compiled.probability({{ft.find("e"), 0.0}}), p_pump * p_pump,
+              1e-15);
+}
+
+TEST(FtBdd, MinimalCutsetsMatchMocus) {
+  const fault_tree ft = testing::example1_static();
+  const ft_bdd compiled(ft);
+  EXPECT_EQ(compiled.minimal_cutsets(), mocus(ft).cutsets);
+}
+
+TEST(FtBdd, CompilesFromSubtreeRoot) {
+  const fault_tree ft = testing::example1_static();
+  const ft_bdd pump1(ft, ft.find("PUMP1"));
+  const double expected =
+      1.0 - (1.0 - testing::p_fts) * (1.0 - testing::p_fio);
+  EXPECT_NEAR(pump1.probability(), expected, 1e-15);
+}
+
+fault_tree random_tree(rng& random, int num_events, int num_gates) {
+  fault_tree ft;
+  std::vector<node_index> pool;
+  for (int i = 0; i < num_events; ++i) {
+    pool.push_back(ft.add_basic_event("e" + std::to_string(i),
+                                      random.uniform(0.05, 0.4)));
+  }
+  node_index last = fault_tree::npos;
+  for (int g = 0; g < num_gates; ++g) {
+    std::vector<node_index> inputs;
+    for (int i = 0, n = static_cast<int>(random.between(2, 4)); i < n; ++i) {
+      inputs.push_back(pool[random.below(pool.size())]);
+    }
+    last = ft.add_gate("g" + std::to_string(g),
+                       random.chance(0.5) ? gate_type::and_gate
+                                          : gate_type::or_gate,
+                       inputs);
+    pool.push_back(last);
+  }
+  ft.set_top(last);
+  return ft;
+}
+
+class BddRandomTrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomTrees, AgreesWithBruteForceAndMocus) {
+  rng random(0xb00 + static_cast<std::uint64_t>(GetParam()));
+  const fault_tree ft = random_tree(random, 9, 7);
+  const ft_bdd compiled(ft);
+  EXPECT_NEAR(compiled.probability(), ft.probability_brute_force(), 1e-12);
+  EXPECT_EQ(compiled.minimal_cutsets(), mocus(ft).cutsets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTrees, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/transient.hpp"
+#include "ctmc/triggered.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(Ctmc, BuildAndAccumulateRates) {
+  ctmc chain(3);
+  chain.set_initial(0, 1.0);
+  chain.add_rate(0, 1, 0.5);
+  chain.add_rate(0, 1, 0.25);  // accumulates
+  chain.add_rate(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 1.75);
+  EXPECT_DOUBLE_EQ(chain.max_exit_rate(), 1.75);
+  ASSERT_EQ(chain.transitions_from(0).size(), 2u);
+}
+
+TEST(Ctmc, RejectsBadInput) {
+  ctmc chain(2);
+  EXPECT_THROW(chain.add_rate(0, 0, 1.0), model_error);   // self loop
+  EXPECT_THROW(chain.add_rate(0, 5, 1.0), model_error);   // range
+  EXPECT_THROW(chain.add_rate(0, 1, -1.0), model_error);  // negative
+  EXPECT_THROW(chain.set_initial(0, 1.5), model_error);
+  chain.set_initial(0, 0.5);
+  EXPECT_THROW(chain.validate(), model_error);  // mass != 1
+}
+
+TEST(Ctmc, FactoryChains) {
+  const ctmc rep = make_repairable(0.2, 2.0);
+  rep.validate();
+  EXPECT_EQ(rep.failed_states(), std::vector<state_index>{1});
+
+  const ctmc stat = make_static_event(0.3);
+  stat.validate();
+  EXPECT_DOUBLE_EQ(stat.initial(1), 0.3);
+  EXPECT_DOUBLE_EQ(stat.max_exit_rate(), 0.0);
+}
+
+TEST(Transient, PureFailureMatchesExponential) {
+  // 2-state absorbing chain: P[fail by t] = 1 - exp(-lambda t).
+  const double lambda = 0.37;
+  ctmc chain = make_repairable(lambda, 0.0);
+  for (double t : {0.0, 0.5, 3.0, 20.0}) {
+    EXPECT_NEAR(reach_failed_probability(chain, t),
+                1.0 - std::exp(-lambda * t), 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(Transient, ZeroRateChainKeepsInitialDistribution) {
+  const ctmc chain = make_static_event(0.25);
+  const auto dist = transient_distribution(chain, 17.0);
+  EXPECT_NEAR(dist[0], 0.75, 1e-12);
+  EXPECT_NEAR(dist[1], 0.25, 1e-12);
+  EXPECT_NEAR(reach_failed_probability(chain, 5.0), 0.25, 1e-12);
+}
+
+TEST(Transient, RepairableAvailabilityClosedForm) {
+  // Transient unavailability of a repairable unit:
+  // q(t) = lambda/(lambda+mu) * (1 - exp(-(lambda+mu) t)).
+  const double lambda = 0.1;
+  const double mu = 1.2;
+  const ctmc chain = make_repairable(lambda, mu);
+  for (double t : {0.3, 1.0, 4.0, 50.0}) {
+    const auto dist = transient_distribution(chain, t);
+    const double expected =
+        lambda / (lambda + mu) * (1.0 - std::exp(-(lambda + mu) * t));
+    EXPECT_NEAR(dist[1], expected, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Transient, ReachBeatsTransientWithRepairs) {
+  // With repairs, having *visited* the failed state is more likely than
+  // being there at time t.
+  const ctmc chain = make_repairable(0.2, 1.0);
+  const double t = 5.0;
+  const double visit = reach_failed_probability(chain, t);
+  const double there = transient_distribution(chain, t)[1];
+  EXPECT_GT(visit, there);
+  EXPECT_LE(visit, 1.0);
+}
+
+TEST(Transient, ErlangCdfClosedForm) {
+  // k-phase Erlang with rate k*lambda per phase; P[T <= t] =
+  // 1 - sum_{i<k} exp(-k l t) (k l t)^i / i!.
+  const int k = 4;
+  const double lambda = 0.05;
+  const ctmc chain = make_erlang_active(k, lambda, 0.0);
+  const double t = 30.0;
+  double expected = 1.0;
+  double term = std::exp(-k * lambda * t);
+  for (int i = 0; i < k; ++i) {
+    expected -= term;
+    term *= k * lambda * t / (i + 1);
+  }
+  EXPECT_NEAR(reach_failed_probability(chain, t), expected, 1e-9);
+}
+
+TEST(Transient, ErlangPreservesMeanTimeToFailure) {
+  // Mean time to failure is 1/lambda for every phase count; at t = MTTF
+  // the failure probabilities are comparable but the distributions differ.
+  const double lambda = 0.01;
+  const double t = 100.0;
+  const double p1 =
+      reach_failed_probability(make_erlang_active(1, lambda, 0.0), t);
+  const double p4 =
+      reach_failed_probability(make_erlang_active(4, lambda, 0.0), t);
+  EXPECT_NEAR(p1, 1.0 - std::exp(-1.0), 1e-9);
+  EXPECT_GT(p4, 0.3);
+  EXPECT_LT(p4, p1);  // Erlang concentrates around the mean
+}
+
+TEST(Transient, DistributionSumsToOne) {
+  const ctmc chain = make_erlang_active(3, 0.2, 0.5);
+  const auto dist = transient_distribution(chain, 7.0);
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Transient, RejectsNegativeHorizon) {
+  const ctmc chain = make_repairable(0.1, 0.0);
+  EXPECT_THROW(reach_failed_probability(chain, -1.0), model_error);
+}
+
+TEST(Triggered, ValidateAcceptsExamplePump) {
+  EXPECT_NO_THROW(testing::example2_pump2().validate());
+}
+
+TEST(Triggered, ValidateRejectsFailedOffStates) {
+  triggered_ctmc m = testing::example2_pump2();
+  m.chain.set_failed(1);  // off-fail marked failed: violates F subset S_on
+  EXPECT_THROW(m.validate(), model_error);
+}
+
+TEST(Triggered, ValidateRejectsInitialOnStates) {
+  triggered_ctmc m = testing::example2_pump2();
+  m.chain.set_initial(0, 0.0);
+  m.chain.set_initial(2, 1.0);  // initial mass on an on-state
+  EXPECT_THROW(m.validate(), model_error);
+}
+
+TEST(Triggered, ValidateRejectsWrongSideMaps) {
+  triggered_ctmc m = testing::example2_pump2();
+  m.to_on[0] = 1;  // maps off-state to off-state
+  EXPECT_THROW(m.validate(), model_error);
+}
+
+TEST(Triggered, WorstCaseEqualsAlwaysOnChain) {
+  // Worst case of the Example 2 pump = plain repairable chain from time 0.
+  const double lambda = 1e-3;
+  const double mu = 5e-2;
+  const triggered_ctmc m = testing::example2_pump2(lambda, mu);
+  const double t = 24.0;
+  const double expected =
+      reach_failed_probability(make_repairable(lambda, mu), t);
+  EXPECT_NEAR(worst_case_failure_probability(m, t), expected, 1e-10);
+}
+
+TEST(Triggered, ErlangTriggeredShape) {
+  const int k = 3;
+  const triggered_ctmc m = make_erlang_triggered(k, 0.01, 0.1, 100.0);
+  EXPECT_EQ(m.chain.num_states(), 2u * (k + 1));
+  // Starts passive in phase 0.
+  EXPECT_DOUBLE_EQ(m.chain.initial(k + 1), 1.0);
+  // Only the active failed phase is failed.
+  EXPECT_EQ(m.chain.failed_states(), std::vector<state_index>{k});
+  // Passive aging is 100x slower.
+  EXPECT_NEAR(m.chain.exit_rate(k + 1), k * 0.01 / 100.0, 1e-12);
+  EXPECT_NEAR(m.chain.exit_rate(0), k * 0.01, 1e-12);
+  // No repair while passive.
+  EXPECT_TRUE(m.chain.transitions_from(2 * k + 1).empty());
+}
+
+TEST(Triggered, ZeroPassiveFactorDisablesStandbyAging) {
+  const triggered_ctmc m = make_erlang_triggered(2, 0.01, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.chain.exit_rate(3), 0.0);  // passive phase 0
+  m.validate();
+}
+
+TEST(Triggered, WorstCaseOfErlangMatchesActiveChain) {
+  const triggered_ctmc trig = make_erlang_triggered(2, 0.02, 0.05, 100.0);
+  const ctmc active = make_erlang_active(2, 0.02, 0.05);
+  EXPECT_NEAR(worst_case_failure_probability(trig, 24.0),
+              reach_failed_probability(active, 24.0), 1e-10);
+}
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mcs/importance.hpp"
+#include "mcs/mocus.hpp"
+#include "test_models.hpp"
+
+namespace sdft {
+namespace {
+
+class ImportanceExample1 : public ::testing::Test {
+ protected:
+  ImportanceExample1()
+      : ft_(testing::example1_static()), cutsets_(mocus(ft_).cutsets),
+        measures_(importance_analysis(ft_, cutsets_)) {}
+
+  fault_tree ft_;
+  std::vector<cutset> cutsets_;
+  std::unordered_map<node_index, importance_measures> measures_;
+};
+
+TEST_F(ImportanceExample1, FussellVeselyValues) {
+  const double total = rare_event_probability(ft_, cutsets_);
+  // a appears in {a,c} and {a,d}.
+  const double with_a = testing::p_fts * testing::p_fts +
+                        testing::p_fts * testing::p_fio;
+  EXPECT_NEAR(measures_[ft_.find("a")].fussell_vesely, with_a / total, 1e-12);
+  // e appears only in {e}.
+  EXPECT_NEAR(measures_[ft_.find("e")].fussell_vesely,
+              testing::p_tank / total, 1e-12);
+}
+
+TEST_F(ImportanceExample1, BirnbaumIsPartialDerivative) {
+  // d p_rea / d p(a) = p(c) + p(d).
+  EXPECT_NEAR(measures_[ft_.find("a")].birnbaum,
+              testing::p_fts + testing::p_fio, 1e-12);
+  // For e the derivative is 1 (singleton cutset).
+  EXPECT_NEAR(measures_[ft_.find("e")].birnbaum, 1.0, 1e-12);
+}
+
+TEST_F(ImportanceExample1, RawAndRrwAreConsistent) {
+  const double total = rare_event_probability(ft_, cutsets_);
+  for (node_index b : ft_.basic_events()) {
+    const auto& m = measures_[b];
+    EXPECT_GE(m.raw, 1.0);
+    EXPECT_GE(m.rrw, 1.0);
+    // raw = p_rea[p(b)=1] / p_rea: check against a direct recomputation.
+    fault_tree modified = ft_;
+    modified.set_probability(b, 1.0);
+    const double achieved = rare_event_probability(modified, cutsets_);
+    EXPECT_NEAR(m.raw, achieved / total, 1e-9);
+  }
+}
+
+TEST_F(ImportanceExample1, RankingPutsSymmetricEventsTogether) {
+  const auto ranked = rank_by_fussell_vesely(ft_, cutsets_);
+  ASSERT_EQ(ranked.size(), 5u);
+  // a and c are symmetric (both 3e-3 FTS events), as are b and d; the
+  // FTS events dominate the FIO events; the tank is least important.
+  auto pos = [&](const char* name) {
+    const node_index n = ft_.find(name);
+    return std::find(ranked.begin(), ranked.end(), n) - ranked.begin();
+  };
+  EXPECT_LT(pos("a"), 2);
+  EXPECT_LT(pos("c"), 2);
+  EXPECT_GE(pos("b"), 2);
+  EXPECT_GE(pos("d"), 2);
+  EXPECT_EQ(pos("e"), 4);
+}
+
+TEST(Importance, EventAbsentFromCutsetsHasZeroImportance) {
+  fault_tree ft;
+  const node_index x = ft.add_basic_event("x", 0.5);
+  const node_index y = ft.add_basic_event("y", 0.5);
+  ft.set_top(ft.add_gate("top", gate_type::or_gate, {x}));
+  const auto cuts = mocus(ft).cutsets;
+  const auto measures = importance_analysis(ft, cuts);
+  EXPECT_DOUBLE_EQ(measures.at(y).fussell_vesely, 0.0);
+  EXPECT_DOUBLE_EQ(measures.at(y).raw, 1.0);
+  EXPECT_DOUBLE_EQ(measures.at(y).rrw, 1.0);
+}
+
+}  // namespace
+}  // namespace sdft

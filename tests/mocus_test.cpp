@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ft/fault_tree.hpp"
+#include "mcs/cutset.hpp"
+#include "mcs/mocus.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sdft {
+namespace {
+
+std::vector<cutset> named(const fault_tree& ft,
+                          std::vector<std::vector<std::string>> names) {
+  std::vector<cutset> out;
+  for (auto& set : names) {
+    cutset c;
+    for (auto& n : set) c.push_back(ft.find(n));
+    std::sort(c.begin(), c.end());
+    out.push_back(std::move(c));
+  }
+  return minimize_cutsets(std::move(out));
+}
+
+TEST(Mocus, Example7MinimalCutsets) {
+  const fault_tree ft = testing::example1_static();
+  const auto result = mocus(ft);
+  const auto expected =
+      named(ft, {{"e"}, {"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}});
+  EXPECT_EQ(result.cutsets, expected);
+  EXPECT_TRUE(are_minimal_cutsets(ft, result.cutsets));
+}
+
+TEST(Mocus, MatchesBruteForceOnExample1) {
+  const fault_tree ft = testing::example1_static();
+  EXPECT_EQ(mocus(ft).cutsets, minimal_cutsets_brute_force(ft));
+}
+
+TEST(Mocus, CutoffDiscardsSmallCutsets) {
+  const fault_tree ft = testing::example1_static();
+  mocus_options opt;
+  opt.cutoff = 1e-5;  // keeps {e}? no: 3e-6 < 1e-5. keeps pairs? ~1e-5..9e-6
+  const auto result = mocus(ft, opt);
+  for (const auto& c : result.cutsets) {
+    EXPECT_GE(cutset_probability(ft, c), opt.cutoff);
+  }
+  EXPECT_GT(result.cutoff_discarded, 0u);
+  EXPECT_LT(result.cutsets.size(), 5u);
+}
+
+TEST(Mocus, MaxOrderLimitsCutsetSize) {
+  const fault_tree ft = testing::example1_static();
+  mocus_options opt;
+  opt.max_order = 1;
+  const auto result = mocus(ft, opt);
+  ASSERT_EQ(result.cutsets.size(), 1u);
+  EXPECT_EQ(ft.node(result.cutsets[0][0]).name, "e");
+}
+
+TEST(Mocus, SubsumptionOnSharedStructure) {
+  // top = OR(x, AND(x, y)): {x} subsumes {x, y}.
+  fault_tree ft;
+  const node_index x = ft.add_basic_event("x", 0.1);
+  const node_index y = ft.add_basic_event("y", 0.1);
+  const node_index g = ft.add_gate("g", gate_type::and_gate, {x, y});
+  ft.set_top(ft.add_gate("top", gate_type::or_gate, {x, g}));
+  const auto result = mocus(ft);
+  ASSERT_EQ(result.cutsets.size(), 1u);
+  EXPECT_EQ(result.cutsets[0], cutset{x});
+}
+
+TEST(Mocus, AssumeFailedConditionsEventsAway) {
+  const fault_tree ft = testing::example1_static();
+  mocus_options opt;
+  opt.assume_failed = {ft.find("a")};
+  const auto result = mocus(ft, opt);
+  // With a certainly failed: {e}, {c}, {d} remain ({b,*} subsumed).
+  const auto expected = named(ft, {{"e"}, {"c"}, {"d"}});
+  EXPECT_EQ(result.cutsets, expected);
+}
+
+TEST(Mocus, AssumeWorkingPrunesBranches) {
+  const fault_tree ft = testing::example1_static();
+  mocus_options opt;
+  opt.assume_working = {ft.find("e"), ft.find("b"), ft.find("d")};
+  const auto result = mocus(ft, opt);
+  const auto expected = named(ft, {{"a", "c"}});
+  EXPECT_EQ(result.cutsets, expected);
+}
+
+TEST(Mocus, EmptyCutsetWhenRootForcedFailed) {
+  // Root = OR(a, b) with a assumed failed: the empty set is the only MCS.
+  fault_tree ft;
+  const node_index a = ft.add_basic_event("a", 0.1);
+  const node_index b = ft.add_basic_event("b", 0.1);
+  ft.set_top(ft.add_gate("top", gate_type::or_gate, {a, b}));
+  mocus_options opt;
+  opt.assume_failed = {a};
+  const auto result = mocus(ft, opt);
+  ASSERT_EQ(result.cutsets.size(), 1u);
+  EXPECT_TRUE(result.cutsets[0].empty());
+}
+
+TEST(Mocus, NoCutsetsWhenRootCannotFail) {
+  fault_tree ft;
+  const node_index a = ft.add_basic_event("a", 0.1);
+  ft.set_top(ft.add_gate("top", gate_type::or_gate, {a}));
+  mocus_options opt;
+  opt.assume_working = {a};
+  EXPECT_TRUE(mocus(ft, opt).cutsets.empty());
+}
+
+TEST(Mocus, FromSubtreeRoot) {
+  const fault_tree ft = testing::example1_static();
+  const auto result = mocus_from(ft, ft.find("PUMP1"));
+  const auto expected = named(ft, {{"a"}, {"b"}});
+  EXPECT_EQ(result.cutsets, expected);
+}
+
+TEST(Mocus, FromBasicEventRoot) {
+  const fault_tree ft = testing::example1_static();
+  const auto result = mocus_from(ft, ft.find("a"));
+  ASSERT_EQ(result.cutsets.size(), 1u);
+  EXPECT_EQ(result.cutsets[0], cutset{ft.find("a")});
+}
+
+TEST(Mocus, PartialLimitThrows) {
+  const fault_tree ft = testing::example1_static();
+  mocus_options opt;
+  opt.max_partials = 2;
+  EXPECT_THROW(mocus(ft, opt), numeric_error);
+}
+
+TEST(MinimizeCutsets, RemovesSupersetsAndDuplicates) {
+  std::vector<cutset> sets{{1, 2, 3}, {1, 2}, {1, 2}, {2, 3}, {3}};
+  const auto minimal = minimize_cutsets(std::move(sets));
+  EXPECT_EQ(minimal, (std::vector<cutset>{{3}, {1, 2}}));
+}
+
+TEST(MinimizeCutsets, EmptySetSubsumesEverything) {
+  std::vector<cutset> sets{{1, 2}, {}, {3}};
+  const auto minimal = minimize_cutsets(std::move(sets));
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_TRUE(minimal[0].empty());
+}
+
+TEST(CutsetQuantities, RareEventAndMcub) {
+  const fault_tree ft = testing::example1_static();
+  const auto cuts = mocus(ft).cutsets;
+  const double rea = rare_event_probability(ft, cuts);
+  const double mcub = min_cut_upper_bound(ft, cuts);
+  const double exact = ft.probability_brute_force();
+  EXPECT_GE(rea, exact - 1e-18);
+  EXPECT_GE(mcub, exact - 1e-18);
+  EXPECT_LE(mcub, rea + 1e-18);
+  // Expected rare-event value: p_e + 2*(p_a*p_c-ish products).
+  const double expected = testing::p_tank +
+                          testing::p_fts * testing::p_fts +
+                          2 * testing::p_fts * testing::p_fio +
+                          testing::p_fio * testing::p_fio;
+  EXPECT_NEAR(rea, expected, 1e-15);
+}
+
+/// Random coherent fault tree for property testing.
+fault_tree random_tree(rng& random, int num_events, int num_gates) {
+  fault_tree ft;
+  std::vector<node_index> pool;
+  for (int i = 0; i < num_events; ++i) {
+    pool.push_back(ft.add_basic_event("e" + std::to_string(i),
+                                      random.uniform(0.01, 0.3)));
+  }
+  node_index last = pool[0];
+  for (int g = 0; g < num_gates; ++g) {
+    const auto type =
+        random.chance(0.5) ? gate_type::and_gate : gate_type::or_gate;
+    std::vector<node_index> inputs;
+    const int arity = static_cast<int>(random.between(2, 3));
+    for (int i = 0; i < arity; ++i) {
+      inputs.push_back(pool[random.below(pool.size())]);
+    }
+    last = ft.add_gate("g" + std::to_string(g), type, inputs);
+    pool.push_back(last);
+  }
+  ft.set_top(last);
+  return ft;
+}
+
+class MocusRandomTrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(MocusRandomTrees, MatchesBruteForce) {
+  rng random(static_cast<std::uint64_t>(GetParam()));
+  const fault_tree ft = random_tree(random, 8, 6);
+  const auto via_mocus = mocus(ft).cutsets;
+  const auto via_brute = minimal_cutsets_brute_force(ft);
+  EXPECT_EQ(via_mocus, via_brute);
+  EXPECT_TRUE(are_minimal_cutsets(ft, via_mocus));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MocusRandomTrees, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "bdd/ft_bdd.hpp"
+#include "ft/openpsa.hpp"
+#include "mcs/mocus.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+#include "util/xml.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(Xml, ParsesElementsAttributesAndComments) {
+  const xml_node root = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- a comment -->\n"
+      "<root a=\"1\" b='two'>\n"
+      "  <child name=\"x &amp; y\"/>\n"
+      "  <child name=\"z\"><inner/></child>\n"
+      "</root>\n");
+  EXPECT_EQ(root.tag, "root");
+  EXPECT_EQ(root.attribute("a"), "1");
+  EXPECT_EQ(root.attribute("b"), "two");
+  ASSERT_EQ(root.children_of("child").size(), 2u);
+  EXPECT_EQ(root.children_of("child")[0]->attribute("name"), "x & y");
+  EXPECT_NE(root.children_of("child")[1]->child("inner"), nullptr);
+  EXPECT_EQ(root.child("absent"), nullptr);
+}
+
+TEST(Xml, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_xml("<a><b></a>"), model_error);       // mismatched
+  EXPECT_THROW(parse_xml("<a attr=oops/>"), model_error);   // unquoted
+  EXPECT_THROW(parse_xml("<a/><b/>"), model_error);         // two roots
+  EXPECT_THROW(parse_xml("<a"), model_error);               // truncated
+  EXPECT_THROW(parse_xml("<a x=\"&weird;\"/>"), model_error);
+}
+
+TEST(Xml, EscapeRoundTrip) {
+  const std::string nasty = "a&b<c>d\"e";
+  const xml_node n =
+      parse_xml("<x v=\"" + xml_escape(nasty) + "\"/>");
+  EXPECT_EQ(n.attribute("v"), nasty);
+}
+
+TEST(OpenPsa, ParsesHandWrittenDocument) {
+  const fault_tree ft = parse_openpsa(R"(<?xml version="1.0"?>
+<opsa-mef>
+  <define-fault-tree name="two-pump">
+    <define-gate name="COOLING">
+      <or> <basic-event name="tank"/> <gate name="PUMPS"/> </or>
+    </define-gate>
+    <define-gate name="PUMPS">
+      <and> <gate name="P1"/> <gate name="P2"/> </and>
+    </define-gate>
+    <define-gate name="P1">
+      <or> <basic-event name="a"/> <basic-event name="b"/> </or>
+    </define-gate>
+    <define-gate name="P2">
+      <or> <basic-event name="c"/> <basic-event name="d"/> </or>
+    </define-gate>
+  </define-fault-tree>
+  <model-data>
+    <define-basic-event name="a"><float value="3e-3"/></define-basic-event>
+    <define-basic-event name="b"><float value="1e-3"/></define-basic-event>
+    <define-basic-event name="c"><float value="3e-3"/></define-basic-event>
+    <define-basic-event name="d"><float value="1e-3"/></define-basic-event>
+    <define-basic-event name="tank"><float value="3e-6"/></define-basic-event>
+  </model-data>
+</opsa-mef>)");
+  EXPECT_EQ(ft.node(ft.top()).name, "COOLING");
+  // This is exactly the running example: same probability and 5 MCSs.
+  EXPECT_NEAR(ft.probability_brute_force(),
+              testing::example1_static().probability_brute_force(), 1e-15);
+  EXPECT_EQ(mocus(ft).cutsets.size(), 5u);
+}
+
+TEST(OpenPsa, AtleastGatesExpand) {
+  const fault_tree ft = parse_openpsa(R"(
+<opsa-mef>
+  <define-fault-tree name="voting">
+    <define-gate name="top">
+      <atleast min="2">
+        <basic-event name="a"/> <basic-event name="b"/>
+        <basic-event name="c"/>
+      </atleast>
+    </define-gate>
+  </define-fault-tree>
+  <model-data>
+    <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+    <define-basic-event name="b"><float value="0.1"/></define-basic-event>
+    <define-basic-event name="c"><float value="0.1"/></define-basic-event>
+  </model-data>
+</opsa-mef>)");
+  const double p = 0.1;
+  EXPECT_NEAR(ft.probability_brute_force(),
+              3 * p * p * (1 - p) + p * p * p, 1e-12);
+}
+
+TEST(OpenPsa, RoundTripsRunningExample) {
+  const fault_tree original = testing::example1_static();
+  const std::string xml = write_openpsa(original, "example1");
+  const fault_tree parsed = parse_openpsa(xml);
+  EXPECT_EQ(parsed.num_basic_events(), original.num_basic_events());
+  EXPECT_EQ(parsed.num_gates(), original.num_gates());
+  EXPECT_NEAR(ft_bdd(parsed).probability(),
+              ft_bdd(original).probability(), 1e-15);
+  EXPECT_EQ(mocus(parsed).cutsets.size(), mocus(original).cutsets.size());
+}
+
+TEST(OpenPsa, RejectsBrokenModels) {
+  // Undefined reference.
+  EXPECT_THROW(parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-gate name="top"><or><basic-event name="ghost"/></or></define-gate>
+</define-fault-tree></opsa-mef>)"),
+               model_error);
+  // Two unreferenced gates: ambiguous top.
+  EXPECT_THROW(parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-gate name="t1"><or><basic-event name="a"/></or></define-gate>
+  <define-gate name="t2"><or><basic-event name="a"/></or></define-gate>
+  <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+</define-fault-tree></opsa-mef>)"),
+               model_error);
+  // Unsupported connective.
+  EXPECT_THROW(parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-gate name="top"><not><basic-event name="a"/></not></define-gate>
+  <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+</define-fault-tree></opsa-mef>)"),
+               model_error);
+  // Probability out of range.
+  EXPECT_THROW(parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-gate name="top"><or><basic-event name="a"/></or></define-gate>
+  <define-basic-event name="a"><float value="1.5"/></define-basic-event>
+</define-fault-tree></opsa-mef>)"),
+               model_error);
+}
+
+TEST(OpenPsa, BasicEventsMayLiveInsideFaultTree) {
+  const fault_tree ft = parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-basic-event name="a"><float value="0.25"/></define-basic-event>
+  <define-gate name="top"><or><basic-event name="a"/></or></define-gate>
+</define-fault-tree></opsa-mef>)");
+  EXPECT_NEAR(ft.probability_brute_force(), 0.25, 1e-15);
+}
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdd/ft_bdd.hpp"
+#include "ctmc/transient.hpp"
+#include "product/product_ctmc.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+namespace {
+
+/// Finds the index of the product state with the given per-event locals,
+/// or npos.
+state_index find_state(const product_ctmc& p,
+                       const std::vector<std::uint16_t>& locals) {
+  for (state_index s = 0; s < p.num_states(); ++s) {
+    if (p.states[s] == locals) return s;
+  }
+  return fault_tree::npos;
+}
+
+double rate_between(const product_ctmc& p, state_index from, state_index to) {
+  for (const auto& [target, rate] : p.chain.transitions_from(from)) {
+    if (target == to) return rate;
+  }
+  return 0.0;
+}
+
+/// The running example's product chain. Event order is a, b, c, d, e with
+/// local chains: statics (0 = ok, 1 = fail), b repairable (0 = ok,
+/// 1 = fail), d the Example 2 pump (0 = off-ok, 1 = off-fail, 2 = on-ok,
+/// 3 = on-fail).
+class ProductRunningExample : public ::testing::Test {
+ protected:
+  ProductRunningExample()
+      : tree_(testing::example3_sd()), product_(build_product_ctmc(tree_)) {}
+
+  sd_fault_tree tree_;
+  product_ctmc product_;
+};
+
+TEST_F(ProductRunningExample, AllStatesConsistent) {
+  // d must be switched on exactly in states where PUMP1 (a or b) is failed.
+  for (state_index s = 0; s < product_.num_states(); ++s) {
+    const auto& locals = product_.states[s];
+    const bool pump1_failed = locals[0] == 1 || locals[1] == 1;
+    const bool d_on = locals[3] >= 2;
+    EXPECT_EQ(pump1_failed, d_on) << "state " << s;
+  }
+}
+
+TEST_F(ProductRunningExample, InitialDistributionSumsToOne) {
+  EXPECT_NEAR(product_.chain.initial_mass(), 1.0, 1e-12);
+}
+
+TEST_F(ProductRunningExample, InitialRedistributionThroughUpdates) {
+  // The combination (a failed, everything else fresh) is inconsistent (d
+  // must switch on) and its mass lands on the updated state (Example 5/6).
+  const state_index updated = find_state(product_, {1, 0, 0, 2, 0});
+  ASSERT_NE(updated, fault_tree::npos);
+  const double expected = testing::p_fts * (1 - testing::p_fts) *
+                          (1 - testing::p_tank);
+  EXPECT_NEAR(product_.chain.initial(updated), expected, 1e-15);
+  // No consistent state has d switched on without mass flowing as above:
+  // the raw off-state combination must not exist.
+  EXPECT_EQ(find_state(product_, {1, 0, 0, 0, 0}), fault_tree::npos);
+}
+
+TEST_F(ProductRunningExample, Example6Rates) {
+  // s1 = tank failed, everything else fresh; b's failure (rate 0.001)
+  // leads to s2 where d has been switched on; repair of b (rate 0.05)
+  // leads back; d's failure (rate 0.001) leads on to s3.
+  const state_index s1 = find_state(product_, {0, 0, 0, 0, 1});
+  const state_index s2 = find_state(product_, {0, 1, 0, 2, 1});
+  const state_index s3 = find_state(product_, {0, 1, 0, 3, 1});
+  ASSERT_NE(s1, fault_tree::npos);
+  ASSERT_NE(s2, fault_tree::npos);
+  ASSERT_NE(s3, fault_tree::npos);
+  EXPECT_NEAR(rate_between(product_, s1, s2), 1e-3, 1e-15);
+  EXPECT_NEAR(rate_between(product_, s2, s1), 5e-2, 1e-15);
+  EXPECT_NEAR(rate_between(product_, s2, s3), 1e-3, 1e-15);
+}
+
+TEST_F(ProductRunningExample, FailedStatesFailTopGate) {
+  // Tank failure alone fails the system; a failed alone does not.
+  const state_index tank = find_state(product_, {0, 0, 0, 0, 1});
+  const state_index a_only = find_state(product_, {1, 0, 0, 2, 0});
+  ASSERT_NE(tank, fault_tree::npos);
+  ASSERT_NE(a_only, fault_tree::npos);
+  EXPECT_TRUE(product_.chain.failed(tank));
+  EXPECT_FALSE(product_.chain.failed(a_only));
+  // Both pumps down: failed.
+  const state_index both = find_state(product_, {1, 0, 1, 2, 0});
+  ASSERT_NE(both, fault_tree::npos);
+  EXPECT_TRUE(product_.chain.failed(both));
+}
+
+TEST_F(ProductRunningExample, FailureProbabilityIsPlausible) {
+  const double t = 24.0;
+  const double p = exact_failure_probability(tree_, t);
+  // Lower bound: the tank alone.
+  EXPECT_GT(p, testing::p_tank * 0.99);
+  // Upper bound: rare-event-style sum of the five cutset contributions
+  // with each dynamic event bounded by its worst case.
+  const double p_dyn = 1.0 - std::exp(-1e-3 * t);
+  const double bound = testing::p_tank +
+                       testing::p_fts * testing::p_fts +
+                       2 * testing::p_fts * p_dyn + p_dyn * p_dyn;
+  EXPECT_LT(p, bound * 1.01);
+  // Monotonicity in t.
+  EXPECT_LT(exact_failure_probability(tree_, 1.0), p);
+  EXPECT_LT(p, exact_failure_probability(tree_, 96.0));
+}
+
+TEST(Product, StaticOnlyTreeMatchesExactProbability) {
+  // With only static events the product chain has zero rates and the
+  // failure probability equals the static fault tree probability, at any
+  // horizon.
+  sd_fault_tree tree(testing::example1_static());
+  tree.validate();
+  const double expected =
+      testing::example1_static().probability_brute_force();
+  EXPECT_NEAR(exact_failure_probability(tree, 0.0), expected, 1e-12);
+  EXPECT_NEAR(exact_failure_probability(tree, 24.0), expected, 1e-12);
+}
+
+TEST(Product, StaticOnlyMatchesBdd) {
+  sd_fault_tree tree(testing::example1_static());
+  const ft_bdd compiled(tree.structure());
+  EXPECT_NEAR(exact_failure_probability(tree, 10.0), compiled.probability(),
+              1e-12);
+}
+
+TEST(Product, UntriggeredDynamicOnly) {
+  // top = OR(x) with a repairable x: failure probability is the
+  // exponential first-passage law, repairs notwithstanding.
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(0.02, 0.5));
+  tree.set_top(tree.add_gate("top", gate_type::or_gate, {x}));
+  tree.validate();
+  const double t = 13.0;
+  EXPECT_NEAR(exact_failure_probability(tree, t),
+              1.0 - std::exp(-0.02 * t), 1e-9);
+}
+
+TEST(Product, TriggeredSpareSemiAnalytic) {
+  // x triggers y (no repairs anywhere, no standby aging): the system
+  // AND(x, y) fails when x fails and then y fails; the time to failure is
+  // the sum of two exponentials (hypoexponential).
+  const double lx = 0.05;
+  const double ly = 0.08;
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(lx, 0.0));
+  triggered_ctmc spare;
+  spare.chain = ctmc(4);
+  spare.chain.set_initial(0, 1.0);
+  spare.chain.set_failed(3);
+  spare.chain.add_rate(2, 3, ly);
+  spare.on_state = {0, 0, 1, 1};
+  spare.to_on = {2, 3, 0, 0};
+  spare.to_off = {0, 0, 0, 1};
+  const node_index y = tree.add_dynamic_event("y", spare);
+  const node_index gx = tree.add_gate("GX", gate_type::or_gate, {x});
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {gx, y}));
+  tree.set_trigger(gx, y);
+  tree.validate();
+
+  const double t = 20.0;
+  // P[X + Y <= t] for X ~ Exp(lx), Y ~ Exp(ly):
+  const double expected =
+      1.0 - (ly * std::exp(-lx * t) - lx * std::exp(-ly * t)) / (ly - lx);
+  EXPECT_NEAR(exact_failure_probability(tree, t), expected, 1e-9);
+}
+
+TEST(Product, StateLimitEnforced) {
+  sd_fault_tree tree = testing::example3_sd();
+  product_options opts;
+  opts.max_states = 2;
+  EXPECT_THROW(build_product_ctmc(tree, opts), numeric_error);
+}
+
+TEST(Product, EventOrderCoversAllBasicEvents) {
+  const sd_fault_tree tree = testing::example3_sd();
+  const product_ctmc p = build_product_ctmc(tree);
+  EXPECT_EQ(p.events.size(), 5u);
+  for (const auto& s : p.states) EXPECT_EQ(s.size(), 5u);
+}
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "product/product_ctmc.hpp"
+#include "sdft/parser.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(SdParser, RoundTripsRunningExample) {
+  const sd_fault_tree tree = testing::example3_sd();
+  const std::string text = write_sd_fault_tree(tree);
+  const sd_fault_tree parsed = parse_sd_fault_tree_string(text);
+
+  EXPECT_EQ(parsed.structure().num_basic_events(), 5u);
+  EXPECT_EQ(parsed.structure().num_gates(), 4u);
+  EXPECT_EQ(parsed.dynamic_events().size(), 2u);
+  const node_index d = parsed.structure().find("d");
+  EXPECT_EQ(parsed.trigger_gate_of(d), parsed.structure().find("PUMP1"));
+
+  // Semantics round-trip: the exact failure probability is preserved.
+  const double t = 24.0;
+  EXPECT_NEAR(exact_failure_probability(parsed, t),
+              exact_failure_probability(tree, t), 1e-12);
+}
+
+TEST(SdParser, SecondRoundTripIsIdentical) {
+  const std::string once = write_sd_fault_tree(testing::example3_sd());
+  const std::string twice =
+      write_sd_fault_tree(parse_sd_fault_tree_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SdParser, ParsesErlangFactories) {
+  const sd_fault_tree tree = parse_sd_fault_tree_string(
+      "dyn x erlang 2 0.01 0.1\n"
+      "dyn y erlang-triggered 1 0.02 0.1 100\n"
+      "or G x\n"
+      "and top G y\n"
+      "trigger G y\n"
+      "top top\n");
+  EXPECT_EQ(tree.dynamic_events().size(), 2u);
+  EXPECT_TRUE(tree.has_triggered_model(tree.structure().find("y")));
+  EXPECT_FALSE(tree.has_triggered_model(tree.structure().find("x")));
+  // x: Erlang-2 chain has 3 states; y: triggered Erlang-1 has 4.
+  EXPECT_EQ(std::get<ctmc>(tree.model_of(tree.structure().find("x")))
+                .num_states(),
+            3u);
+}
+
+TEST(SdParser, ParsesExplicitChainBlocks) {
+  const sd_fault_tree tree = parse_sd_fault_tree_string(
+      "dyn x chain 2\n"
+      "  init 0 1\n"
+      "  failed 1\n"
+      "  rate 0 1 0.05\n"
+      "  rate 1 0 0.5\n"
+      "end\n"
+      "or top x\n"
+      "top top\n");
+  const auto& chain = std::get<ctmc>(tree.model_of(tree.structure().find("x")));
+  EXPECT_EQ(chain.num_states(), 2u);
+  EXPECT_TRUE(chain.failed(1));
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 0.05);
+}
+
+TEST(SdParser, ParsesTriggeredChainBlocks) {
+  const sd_fault_tree tree = parse_sd_fault_tree_string(
+      "be s 0.01\n"
+      "dyn y chain 4\n"
+      "  init 0 1\n"
+      "  failed 3\n"
+      "  rate 2 3 0.1\n"
+      "  on 0 2\n"
+      "  on 1 3\n"
+      "  off 2 0\n"
+      "  off 3 1\n"
+      "end\n"
+      "or G s\n"
+      "and top G y\n"
+      "trigger G y\n"
+      "top top\n");
+  const node_index y = tree.structure().find("y");
+  ASSERT_TRUE(tree.has_triggered_model(y));
+  const auto& model = std::get<triggered_ctmc>(tree.model_of(y));
+  EXPECT_EQ(model.on_state, (std::vector<char>{0, 0, 1, 1}));
+}
+
+TEST(SdParser, RejectsIncompleteSwitchMaps) {
+  EXPECT_THROW(parse_sd_fault_tree_string(
+                   "dyn y chain 4\n"
+                   "  init 0 1\n"
+                   "  failed 3\n"
+                   "  rate 2 3 0.1\n"
+                   "  on 0 2\n"  // off-state 1 has no mapping
+                   "  off 2 0\n"
+                   "  off 3 1\n"
+                   "end\n"
+                   "or G y\n"
+                   "top G\n"),
+               model_error);
+}
+
+TEST(SdParser, RejectsUnterminatedChain) {
+  EXPECT_THROW(parse_sd_fault_tree_string("dyn x chain 2\n  init 0 1\n"),
+               model_error);
+}
+
+TEST(SdParser, RejectsTriggerOnUntriggeredModel) {
+  EXPECT_THROW(parse_sd_fault_tree_string(
+                   "dyn x erlang 1 0.1 0\n"
+                   "be s 0.1\n"
+                   "or G s\n"
+                   "and top G x\n"
+                   "trigger G x\n"
+                   "top top\n"),
+               model_error);
+}
+
+TEST(SdParser, RejectsTriggeredModelWithoutTrigger) {
+  EXPECT_THROW(parse_sd_fault_tree_string(
+                   "dyn y erlang-triggered 1 0.1 0 100\n"
+                   "or top y\n"
+                   "top top\n"),
+               model_error);
+}
+
+TEST(SdParser, ReportsLineNumbers) {
+  try {
+    parse_sd_fault_tree_string("be x 0.1\ndyn y erlang nonsense 0.1 0\n");
+    FAIL() << "expected parse error";
+  } catch (const model_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SdParser, RejectsBadStateIndices) {
+  EXPECT_THROW(parse_sd_fault_tree_string(
+                   "dyn x chain 2\n  init 7 1\nend\nor top x\ntop top\n"),
+               model_error);
+}
+
+}  // namespace
+}  // namespace sdft

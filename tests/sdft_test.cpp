@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctmc/transient.hpp"
+#include "mcs/mocus.hpp"
+#include "sdft/classify.hpp"
+#include "sdft/sd_fault_tree.hpp"
+#include "sdft/translate.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(SdFaultTree, RunningExampleValidates) {
+  const sd_fault_tree tree = testing::example3_sd();
+  EXPECT_EQ(tree.dynamic_events().size(), 2u);
+  EXPECT_EQ(tree.static_events().size(), 3u);
+  const node_index d = tree.structure().find("d");
+  EXPECT_EQ(tree.trigger_gate_of(d), tree.structure().find("PUMP1"));
+  EXPECT_TRUE(tree.has_triggered_model(d));
+  EXPECT_FALSE(tree.has_triggered_model(tree.structure().find("b")));
+}
+
+TEST(SdFaultTree, TriggeredEventNeedsTriggeredModel) {
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(0.1, 0.0));
+  const node_index g = tree.add_gate("g", gate_type::or_gate, {x});
+  tree.set_top(g);
+  // x has a plain chain: giving it a trigger must fail.
+  EXPECT_THROW(tree.set_trigger(g, x), model_error);
+}
+
+TEST(SdFaultTree, TriggeredModelWithoutTriggerFailsValidation) {
+  sd_fault_tree tree;
+  const node_index y =
+      tree.add_dynamic_event("y", testing::example2_pump2());
+  tree.set_top(tree.add_gate("g", gate_type::or_gate, {y}));
+  EXPECT_THROW(tree.validate(), model_error);
+}
+
+TEST(SdFaultTree, AtMostOneTriggerPerEvent) {
+  sd_fault_tree tree;
+  const node_index s = tree.add_static_event("s", 0.1);
+  const node_index y =
+      tree.add_dynamic_event("y", testing::example2_pump2());
+  const node_index g1 = tree.add_gate("g1", gate_type::or_gate, {s});
+  const node_index g2 = tree.add_gate("g2", gate_type::or_gate, {s});
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {g1, g2, y}));
+  tree.set_trigger(g1, y);
+  EXPECT_THROW(tree.set_trigger(g2, y), model_error);
+}
+
+TEST(SdFaultTree, DetectsTriggerCycle) {
+  // y is triggered by a gate above y itself: a triggering deadlock.
+  sd_fault_tree tree;
+  const node_index y =
+      tree.add_dynamic_event("y", testing::example2_pump2());
+  const node_index g = tree.add_gate("g", gate_type::or_gate, {y});
+  tree.set_top(g);
+  tree.set_trigger(g, y);
+  EXPECT_THROW(tree.validate(), model_error);
+}
+
+TEST(SdFaultTree, MakeDynamicPromotesStaticEvent) {
+  fault_tree base = testing::example1_static();
+  sd_fault_tree tree(std::move(base));
+  const node_index b = tree.structure().find("b");
+  tree.make_dynamic(b, make_repairable(1e-3, 5e-2));
+  EXPECT_TRUE(tree.is_dynamic(b));
+  EXPECT_THROW(tree.make_dynamic(b, make_repairable(0.1, 0.0)), model_error);
+  tree.validate();
+}
+
+// --- Classification (paper §V-A / Figure 1) ---------------------------
+
+/// Figure 1 left: OR gate over a static and a dynamic event.
+sd_fault_tree branching_model() {
+  sd_fault_tree tree;
+  const node_index s = tree.add_static_event("s", 0.01);
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(1e-3, 0.0));
+  const node_index y =
+      tree.add_dynamic_event("y", testing::example2_pump2());
+  const node_index g = tree.add_gate("G", gate_type::or_gate, {s, x});
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {g, y}));
+  tree.set_trigger(g, y);
+  tree.validate();
+  return tree;
+}
+
+/// Figure 1 right: OR gate over two dynamic events.
+sd_fault_tree joins_model() {
+  sd_fault_tree tree;
+  const node_index e =
+      tree.add_dynamic_event("e", make_repairable(1e-3, 5e-2));
+  const node_index f =
+      tree.add_dynamic_event("f", make_repairable(2e-3, 5e-2));
+  const node_index g = tree.add_gate("G", gate_type::or_gate, {e, f});
+  const node_index z =
+      tree.add_dynamic_event("z", testing::example2_pump2());
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {e, z}));
+  tree.add_input(tree.structure().find("top"), g);
+  tree.set_trigger(g, z);
+  tree.validate();
+  return tree;
+}
+
+/// Example 9/10-like general trigger: AND(OR(a, b), OR(c, d)) with a, b, c
+/// dynamic and d static.
+sd_fault_tree general_model() {
+  sd_fault_tree tree;
+  const node_index a =
+      tree.add_dynamic_event("a", make_repairable(2e-3, 1e-1));
+  const node_index b =
+      tree.add_dynamic_event("b", make_repairable(1e-3, 1e-1));
+  const node_index c =
+      tree.add_dynamic_event("c", make_repairable(2e-3, 1e-1));
+  const node_index d = tree.add_static_event("d", 0.02);
+  const node_index g1 = tree.add_gate("G1", gate_type::or_gate, {a, b});
+  const node_index g2 = tree.add_gate("G2", gate_type::or_gate, {c, d});
+  const node_index g = tree.add_gate("G", gate_type::and_gate, {g1, g2});
+  const node_index e =
+      tree.add_dynamic_event("e", testing::example2_pump2());
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {a, c, e}));
+  tree.set_trigger(g, e);
+  tree.validate();
+  return tree;
+}
+
+TEST(Classify, StaticBranching) {
+  const sd_fault_tree tree = branching_model();
+  const node_index g = tree.structure().find("G");
+  EXPECT_TRUE(has_static_branching(tree, g));
+  EXPECT_TRUE(has_static_joins(tree, g));  // no ANDs in the subtree at all
+  EXPECT_EQ(classify_trigger_gate(tree, g),
+            trigger_class::static_branching);
+}
+
+TEST(Classify, StaticJoins) {
+  const sd_fault_tree tree = joins_model();
+  const node_index g = tree.structure().find("G");
+  EXPECT_FALSE(has_static_branching(tree, g));  // OR with two dynamic kids
+  EXPECT_TRUE(has_static_joins(tree, g));
+  EXPECT_EQ(classify_trigger_gate(tree, g), trigger_class::static_joins);
+}
+
+TEST(Classify, GeneralCase) {
+  const sd_fault_tree tree = general_model();
+  const node_index g = tree.structure().find("G");
+  EXPECT_FALSE(has_static_branching(tree, g));  // G1 has two dynamic kids
+  EXPECT_FALSE(has_static_joins(tree, g));      // G has dynamic children
+  EXPECT_EQ(classify_trigger_gate(tree, g), trigger_class::general);
+}
+
+TEST(Classify, UniformTriggering) {
+  const sd_fault_tree tree = branching_model();
+  // Subtree of "top" holds x (untriggered) and y: not uniform.
+  EXPECT_FALSE(has_uniform_triggering(tree, tree.structure().find("top")));
+  // Subtree of G holds only x, untriggered: not uniform either.
+  EXPECT_FALSE(has_uniform_triggering(tree, tree.structure().find("G")));
+}
+
+TEST(Classify, UniformTriggeringHolds) {
+  // G = OR(y1, y2), both triggered by the same gate H.
+  sd_fault_tree tree;
+  const node_index s = tree.add_static_event("s", 0.01);
+  const node_index h = tree.add_gate("H", gate_type::or_gate, {s});
+  const node_index y1 =
+      tree.add_dynamic_event("y1", testing::example2_pump2());
+  const node_index y2 =
+      tree.add_dynamic_event("y2", testing::example2_pump2());
+  const node_index g = tree.add_gate("G", gate_type::or_gate, {y1, y2});
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {g, h}));
+  tree.set_trigger(h, y1);
+  tree.set_trigger(h, y2);
+  tree.validate();
+  EXPECT_TRUE(has_uniform_triggering(tree, g));
+  const trigger_report report = analyze_triggers(tree);
+  ASSERT_EQ(report.gates.size(), 1u);
+  EXPECT_EQ(report.gates[0].gate, h);
+}
+
+TEST(Classify, ReportFlagsInefficientTriggers) {
+  EXPECT_FALSE(analyze_triggers(general_model()).efficient);
+  // Static branching triggers are always efficient.
+  EXPECT_TRUE(analyze_triggers(branching_model()).efficient);
+}
+
+// --- Translation to FT-bar (paper §V-B) --------------------------------
+
+TEST(Translate, RunningExampleStructure) {
+  const sd_fault_tree tree = testing::example3_sd();
+  const static_translation tr = translate_to_static(tree, 24.0);
+  // One wrapper AND gate is added for the triggered event d.
+  EXPECT_EQ(tr.ft_bar.num_gates(), tree.structure().num_gates() + 1);
+  EXPECT_EQ(tr.ft_bar.num_basic_events(), 5u);
+  const node_index wrap = tr.ft_bar.find("d::trig");
+  ASSERT_NE(wrap, fault_tree::npos);
+  EXPECT_EQ(tr.ft_bar.node(wrap).type, gate_type::and_gate);
+  EXPECT_EQ(tr.ft_bar.node(wrap).inputs.size(), 2u);
+}
+
+TEST(Translate, PreservesMinimalCutsets) {
+  const sd_fault_tree tree = testing::example3_sd();
+  const static_translation tr = translate_to_static(tree, 24.0);
+  auto cutsets = mocus(tr.ft_bar).cutsets;
+  // Map back to SD indices and compare against the static tree's MCSs
+  // (paper §V-B1: FT and FT-bar have the same minimal cutsets).
+  std::vector<cutset> mapped;
+  for (auto& c : cutsets) {
+    cutset m;
+    for (node_index b : c) m.push_back(tr.to_sd.at(b));
+    std::sort(m.begin(), m.end());
+    mapped.push_back(std::move(m));
+  }
+  const auto expected = mocus(testing::example1_static()).cutsets;
+  // example1_static shares the node layout of example3_sd's structure.
+  EXPECT_EQ(minimize_cutsets(std::move(mapped)), expected);
+}
+
+TEST(Translate, WorstCaseProbabilities) {
+  const sd_fault_tree tree = testing::example3_sd();
+  const double t = 24.0;
+  const static_translation tr = translate_to_static(tree, t);
+  const node_index b = tree.structure().find("b");
+  const node_index d = tree.structure().find("d");
+  // b: untriggered repairable chain, P[visit failed by t] = 1 - e^{-lt}.
+  EXPECT_NEAR(tr.worst_case.at(b), 1.0 - std::exp(-1e-3 * t), 1e-9);
+  // d: worst case is "triggered at 0", identical failure law to b.
+  EXPECT_NEAR(tr.worst_case.at(d), tr.worst_case.at(b), 1e-9);
+  // FT-bar carries these as static probabilities.
+  EXPECT_NEAR(tr.ft_bar.node(tr.to_bar.at(b)).probability,
+              tr.worst_case.at(b), 0.0);
+}
+
+TEST(Translate, StaticEventsKeepProbability) {
+  const sd_fault_tree tree = testing::example3_sd();
+  const static_translation tr = translate_to_static(tree, 24.0);
+  const node_index a = tree.structure().find("a");
+  EXPECT_DOUBLE_EQ(tr.ft_bar.node(tr.to_bar.at(a)).probability,
+                   testing::p_fts);
+}
+
+TEST(Translate, ReferenceCutoffUsesStaticProbabilities) {
+  // An Erlang-3 dynamic event with a retained reference probability: the
+  // worst case differs from the reference, and the reference_cutoff flag
+  // selects which one FT-bar carries (the paper's static cutoff, §VI).
+  sd_fault_tree tree;
+  const double ref = 0.05;
+  const node_index x = tree.add_dynamic_event(
+      "x", make_erlang_active(3, 2e-3, 0.0), ref);
+  tree.set_top(tree.add_gate("top", gate_type::or_gate, {x}));
+  tree.validate();
+
+  const double t = 24.0;
+  const static_translation worst = translate_to_static(tree, t);
+  const static_translation reference =
+      translate_to_static(tree, t, 1e-10, /*reference_cutoff=*/true);
+  EXPECT_NE(worst.ft_bar.node(worst.to_bar.at(x)).probability, ref);
+  EXPECT_DOUBLE_EQ(reference.ft_bar.node(reference.to_bar.at(x)).probability,
+                   ref);
+  // The worst-case map itself is unaffected by the flag.
+  EXPECT_NEAR(worst.worst_case.at(x), reference.worst_case.at(x), 0.0);
+}
+
+TEST(Translate, ReferenceCutoffFallsBackToWorstCase) {
+  // Dynamic events without a reference probability keep the worst case
+  // even under reference_cutoff.
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_erlang_active(1, 2e-3, 0.0));
+  tree.set_top(tree.add_gate("top", gate_type::or_gate, {x}));
+  tree.validate();
+  const static_translation tr =
+      translate_to_static(tree, 24.0, 1e-10, /*reference_cutoff=*/true);
+  EXPECT_NEAR(tr.ft_bar.node(tr.to_bar.at(x)).probability,
+              tr.worst_case.at(x), 0.0);
+}
+
+TEST(Translate, CutoffConservativity) {
+  // Paper eq. (1): for any cutset, the FT-bar probability product bounds
+  // the dynamic quantification from above. Spot-check on {a, d}.
+  const sd_fault_tree tree = testing::example3_sd();
+  const double t = 24.0;
+  const static_translation tr = translate_to_static(tree, t);
+  const node_index d = tree.structure().find("d");
+  // p(a) * worst_case(d) >= p(a) * P[d fails by t | triggered at 0] and the
+  // worst case is exactly that triggering pattern here.
+  EXPECT_GE(testing::p_fts * tr.worst_case.at(d), 0.0);
+  const double direct = worst_case_failure_probability(
+      std::get<triggered_ctmc>(tree.model_of(d)), t);
+  EXPECT_NEAR(tr.worst_case.at(d), direct, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analyzer.hpp"
+#include "product/product_ctmc.hpp"
+#include "sim/simulator.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(Simulator, MatchesExponentialClosedForm) {
+  // Single untriggered event: P = 1 - e^{-lambda t}.
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(0.05, 0.4));
+  tree.set_top(tree.add_gate("top", gate_type::or_gate, {x}));
+  const double t = 10.0;
+  const double exact = 1.0 - std::exp(-0.05 * t);
+
+  simulation_options opts;
+  opts.runs = 60'000;
+  opts.seed = 42;
+  const simulation_result r = simulate_failure_probability(tree, t, opts);
+  EXPECT_TRUE(r.consistent_with(exact))
+      << r.estimate << " vs " << exact << " [" << r.ci_low << ", "
+      << r.ci_high << "]";
+  EXPECT_NEAR(r.estimate, exact, 5 * r.std_error);
+}
+
+TEST(Simulator, MatchesStaticProbability) {
+  sd_fault_tree tree(testing::example1_static());
+  const double exact =
+      testing::example1_static().probability_brute_force();
+  simulation_options opts;
+  opts.runs = 2'000'000;  // exact ~ 1.9e-5: rare, needs many runs
+  opts.seed = 7;
+  const simulation_result r = simulate_failure_probability(tree, 5.0, opts);
+  EXPECT_TRUE(r.consistent_with(exact))
+      << r.estimate << " vs " << exact;
+}
+
+TEST(Simulator, MatchesExactProductOnRunningExample) {
+  // Faster pumps than the paper's data so the failure probability is
+  // large enough for a tight Monte-Carlo comparison.
+  const sd_fault_tree tree = testing::example3_sd(0.05, 0.2);
+  const double t = 24.0;
+  const double exact = exact_failure_probability(tree, t);
+  EXPECT_GT(exact, 0.05);  // sanity: commensurate with runs below
+
+  simulation_options opts;
+  opts.runs = 40'000;
+  opts.seed = 11;
+  const simulation_result r = simulate_failure_probability(tree, t, opts);
+  EXPECT_TRUE(r.consistent_with(exact))
+      << r.estimate << " vs " << exact << " [" << r.ci_low << ", "
+      << r.ci_high << "]";
+}
+
+TEST(Simulator, TriggeredSpareDelaysFailure) {
+  // The spare's chain only runs once triggered: simulated failure within a
+  // short horizon must be well below the always-on worst case.
+  const sd_fault_tree tree = testing::example3_sd(0.05, 0.0);
+  simulation_options opts;
+  opts.runs = 30'000;
+  opts.seed = 3;
+  const simulation_result r =
+      simulate_failure_probability(tree, 24.0, opts);
+  const double exact = exact_failure_probability(tree, 24.0);
+  EXPECT_TRUE(r.consistent_with(exact));
+}
+
+TEST(Simulator, DeterministicPerSeed) {
+  const sd_fault_tree tree = testing::example3_sd(0.05, 0.2);
+  simulation_options opts;
+  opts.runs = 5'000;
+  opts.seed = 123;
+  const auto a = simulate_failure_probability(tree, 12.0, opts);
+  const auto b = simulate_failure_probability(tree, 12.0, opts);
+  EXPECT_EQ(a.failures, b.failures);
+  opts.seed = 124;
+  const auto c = simulate_failure_probability(tree, 12.0, opts);
+  EXPECT_NE(a.failures, c.failures);
+}
+
+TEST(Simulator, ZeroHorizonOnlyCountsInitialFailures) {
+  sd_fault_tree tree(testing::example1_static());
+  simulation_options opts;
+  opts.runs = 500'000;
+  opts.seed = 5;
+  const simulation_result r = simulate_failure_probability(tree, 0.0, opts);
+  EXPECT_TRUE(
+      r.consistent_with(testing::example1_static().probability_brute_force()));
+}
+
+TEST(Simulator, AgreesWithPipelineOnChainedTriggers) {
+  // Chain: TRAIN1 triggers P2, TRAIN2 triggers P3 (the sequential-trains
+  // scenario). The pipeline's rare-event sum must land on or above the
+  // simulated truth.
+  sd_fault_tree tree;
+  const node_index f1 =
+      tree.add_dynamic_event("P1", make_erlang_active(1, 0.05, 0.1));
+  const node_index t1 = tree.add_gate("T1", gate_type::or_gate, {f1});
+  const node_index f2 = tree.add_dynamic_event(
+      "P2", make_erlang_triggered(1, 0.05, 0.1, 100.0));
+  const node_index t2 = tree.add_gate("T2", gate_type::or_gate, {f2});
+  const node_index f3 = tree.add_dynamic_event(
+      "P3", make_erlang_triggered(1, 0.05, 0.1, 100.0));
+  const node_index t3 = tree.add_gate("T3", gate_type::or_gate, {f3});
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {t1, t2, t3}));
+  tree.set_trigger(t1, f2);
+  tree.set_trigger(t2, f3);
+  tree.validate();
+
+  const double t = 48.0;
+  analysis_options aopts;
+  aopts.horizon = t;
+  const double pipeline = analyze(tree, aopts).failure_probability;
+
+  simulation_options sopts;
+  sopts.runs = 60'000;
+  sopts.seed = 9;
+  const simulation_result r = simulate_failure_probability(tree, t, sopts);
+  // Single cutset: the pipeline is exact here. Use a 4-sigma band rather
+  // than the strict 95% CI so the test does not flake on seed luck.
+  EXPECT_NEAR(r.estimate, pipeline, 4 * r.std_error)
+      << r.estimate << " vs " << pipeline;
+}
+
+TEST(Simulator, RejectsZeroRuns) {
+  sd_fault_tree tree(testing::example1_static());
+  simulation_options opts;
+  opts.runs = 0;
+  EXPECT_THROW(simulate_failure_probability(tree, 1.0, opts), model_error);
+}
+
+}  // namespace
+}  // namespace sdft

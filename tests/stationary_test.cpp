@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/stationary.hpp"
+#include "ctmc/triggered.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(Stationary, RepairableComponentClosedForm) {
+  const double lambda = 0.2;
+  const double mu = 1.5;
+  const ctmc chain = make_repairable(lambda, mu);
+  const auto pi = stationary_distribution(chain);
+  EXPECT_NEAR(pi[0], mu / (lambda + mu), 1e-9);
+  EXPECT_NEAR(pi[1], lambda / (lambda + mu), 1e-9);
+  EXPECT_NEAR(asymptotic_unavailability(chain), lambda / (lambda + mu),
+              1e-9);
+}
+
+TEST(Stationary, ErlangWithRepairSumsToOne) {
+  const ctmc chain = make_erlang_active(3, 0.1, 0.5);
+  const auto pi = stationary_distribution(chain);
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Balance check: flow into the failed phase equals flow out.
+  EXPECT_NEAR(pi[2] * 0.3, pi[3] * 0.5, 1e-9);
+}
+
+TEST(Stationary, BirthDeathThreeStates) {
+  // 0 <-> 1 <-> 2 with distinct rates; detailed balance gives the ratios.
+  ctmc chain(3);
+  chain.set_initial(0, 1.0);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 0, 2.0);
+  chain.add_rate(1, 2, 0.5);
+  chain.add_rate(2, 1, 3.0);
+  const auto pi = stationary_distribution(chain);
+  EXPECT_NEAR(pi[1] / pi[0], 0.5, 1e-8);
+  EXPECT_NEAR(pi[2] / pi[1], 0.5 / 3.0, 1e-8);
+}
+
+TEST(Mttf, ExponentialComponent) {
+  const double lambda = 0.04;
+  EXPECT_NEAR(mean_time_to_failure(make_repairable(lambda, 0.0)),
+              1.0 / lambda, 1e-6);
+}
+
+TEST(Mttf, ErlangPreservesMeanRegardlessOfPhases) {
+  const double lambda = 0.01;
+  for (int k : {1, 2, 5}) {
+    EXPECT_NEAR(mean_time_to_failure(make_erlang_active(k, lambda, 0.0)),
+                1.0 / lambda, 1e-4)
+        << "phases " << k;
+  }
+}
+
+TEST(Mttf, RepairBeforeFailureExtendsMttf) {
+  // A two-phase chain where the first phase can be "repaired" back:
+  // 0 -> 1 (rate a), 1 -> 0 (repair r), 1 -> 2 failed (rate b).
+  // MTTF from 0: h0 = 1/a + h1, h1 = (1 + r h0) / (r + b).
+  const double a = 0.5, r = 2.0, b = 0.25;
+  ctmc chain(3);
+  chain.set_initial(0, 1.0);
+  chain.set_failed(2);
+  chain.add_rate(0, 1, a);
+  chain.add_rate(1, 0, r);
+  chain.add_rate(1, 2, b);
+  // Solve the 2x2 system by hand.
+  const double h1 = (1.0 + r / a) / b;
+  const double h0 = 1.0 / a + h1;
+  EXPECT_NEAR(mean_time_to_failure(chain), h0, 1e-6);
+  EXPECT_GT(h0, 1.0 / a + 1.0 / b - 1e-9);  // repair only delays failure
+}
+
+TEST(Mttf, UnreachableFailureIsInfinite) {
+  ctmc chain(3);
+  chain.set_initial(0, 1.0);
+  chain.set_failed(2);
+  chain.add_rate(0, 1, 1.0);  // 2 is disconnected
+  EXPECT_TRUE(std::isinf(mean_time_to_failure(chain)));
+}
+
+TEST(Mttf, EscapableFailureIsInfinite) {
+  // From 0 the chain may wander into absorbing state 1 (not failed), so
+  // failure is not almost-sure and the mean is infinite.
+  ctmc chain(3);
+  chain.set_initial(0, 1.0);
+  chain.set_failed(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 2, 1.0);
+  EXPECT_TRUE(std::isinf(mean_time_to_failure(chain)));
+}
+
+TEST(Mttf, RequiresFailedStates) {
+  ctmc chain(1);
+  chain.set_initial(0, 1.0);
+  EXPECT_THROW(mean_time_to_failure(chain), model_error);
+}
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared model builders for the test suite: the paper's running example
+// (Examples 1-7) and small structures exercising the trigger classes of
+// Figure 1 / Example 9.
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/triggered.hpp"
+#include "ft/fault_tree.hpp"
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft::testing {
+
+/// Probabilities of the running example (paper Example 1).
+inline constexpr double p_fts = 3e-3;   // pumps failing to start (a, c)
+inline constexpr double p_fio = 1e-3;   // pumps failing in operation (b, d)
+inline constexpr double p_tank = 3e-6;  // water tank (e)
+
+/// The static fault tree of Example 1:
+///   COOLING = OR(e, PUMPS), PUMPS = AND(PUMP1, PUMP2),
+///   PUMP1 = OR(a, b), PUMP2 = OR(c, d).
+inline fault_tree example1_static() {
+  fault_tree ft;
+  const node_index a = ft.add_basic_event("a", p_fts);
+  const node_index b = ft.add_basic_event("b", p_fio);
+  const node_index c = ft.add_basic_event("c", p_fts);
+  const node_index d = ft.add_basic_event("d", p_fio);
+  const node_index e = ft.add_basic_event("e", p_tank);
+  const node_index pump1 = ft.add_gate("PUMP1", gate_type::or_gate, {a, b});
+  const node_index pump2 = ft.add_gate("PUMP2", gate_type::or_gate, {c, d});
+  const node_index pumps =
+      ft.add_gate("PUMPS", gate_type::and_gate, {pump1, pump2});
+  ft.set_top(ft.add_gate("COOLING", gate_type::or_gate, {e, pumps}));
+  return ft;
+}
+
+/// The triggered CTMC of the second pump (paper Example 2): states
+/// off-ok(0), off-fail(1), on-ok(2), on-fail(3); failure only while on,
+/// repair both while on and while off ("a failed pump is being repaired
+/// even if it is not required at the moment").
+inline triggered_ctmc example2_pump2(double failure_rate = 1e-3,
+                                     double repair_rate = 5e-2) {
+  triggered_ctmc m;
+  m.chain = ctmc(4);
+  m.chain.set_initial(0, 1.0);
+  m.chain.set_failed(3);
+  m.chain.add_rate(2, 3, failure_rate);
+  m.chain.add_rate(3, 2, repair_rate);
+  m.chain.add_rate(1, 0, repair_rate);
+  m.on_state = {0, 0, 1, 1};
+  m.to_on = {2, 3, 0, 0};
+  m.to_off = {0, 0, 0, 1};
+  m.validate();
+  return m;
+}
+
+/// The SD fault tree of Example 3: a, c, e static; b a repairable
+/// untriggered chain; d the triggered chain of Example 2, triggered by the
+/// failure of gate PUMP1.
+inline sd_fault_tree example3_sd(double failure_rate = 1e-3,
+                                 double repair_rate = 5e-2) {
+  sd_fault_tree tree;
+  const node_index a = tree.add_static_event("a", p_fts);
+  const node_index b = tree.add_dynamic_event(
+      "b", make_repairable(failure_rate, repair_rate));
+  const node_index c = tree.add_static_event("c", p_fts);
+  const node_index d = tree.add_dynamic_event(
+      "d", example2_pump2(failure_rate, repair_rate));
+  const node_index e = tree.add_static_event("e", p_tank);
+  const node_index pump1 =
+      tree.add_gate("PUMP1", gate_type::or_gate, {a, b});
+  const node_index pump2 =
+      tree.add_gate("PUMP2", gate_type::or_gate, {c, d});
+  const node_index pumps =
+      tree.add_gate("PUMPS", gate_type::and_gate, {pump1, pump2});
+  tree.set_top(tree.add_gate("COOLING", gate_type::or_gate, {e, pumps}));
+  tree.set_trigger(pump1, d);
+  tree.validate();
+  return tree;
+}
+
+}  // namespace sdft::testing

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/fox_glynn.hpp"
+#include "util/rng.hpp"
+#include "util/sorted_set.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sdft {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  rng a(7);
+  rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  rng r(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(7), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanIsCentred) {
+  rng r(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+double poisson_pmf(double lambda, std::size_t k) {
+  return std::exp(-lambda + k * std::log(lambda) - log_factorial(k));
+}
+
+TEST(FoxGlynn, MatchesDirectPmfSmallLambda) {
+  const auto w = fox_glynn(2.5, 1e-12);
+  for (std::size_t k = w.left; k <= w.right; ++k) {
+    EXPECT_NEAR(w.weight(k), poisson_pmf(2.5, k), 1e-10);
+  }
+}
+
+TEST(FoxGlynn, MatchesDirectPmfLargeLambda) {
+  const auto w = fox_glynn(500.0, 1e-12);
+  for (std::size_t k = w.left; k <= w.right; k += 17) {
+    EXPECT_NEAR(w.weight(k), poisson_pmf(500.0, k), 1e-9);
+  }
+}
+
+TEST(FoxGlynn, WeightsSumToOne) {
+  for (double lambda : {0.01, 1.0, 7.3, 123.0, 4000.0}) {
+    const auto w = fox_glynn(lambda, 1e-10);
+    const double sum =
+        std::accumulate(w.weights.begin(), w.weights.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "lambda=" << lambda;
+  }
+}
+
+TEST(FoxGlynn, WindowCoversRequestedMass) {
+  const double lambda = 42.0;
+  const auto w = fox_glynn(lambda, 1e-8);
+  double outside = 0.0;
+  for (std::size_t k = 0; k < w.left; ++k) outside += poisson_pmf(lambda, k);
+  for (std::size_t k = w.right + 1; k < w.right + 200; ++k) {
+    outside += poisson_pmf(lambda, k);
+  }
+  EXPECT_LT(outside, 1e-7);
+}
+
+TEST(FoxGlynn, ZeroLambdaIsPointMass) {
+  const auto w = fox_glynn(0.0, 1e-10);
+  EXPECT_EQ(w.left, 0u);
+  EXPECT_EQ(w.right, 0u);
+  EXPECT_DOUBLE_EQ(w.weight(0), 1.0);
+}
+
+TEST(FoxGlynn, RejectsBadArguments) {
+  EXPECT_THROW(fox_glynn(-1.0, 1e-10), numeric_error);
+  EXPECT_THROW(fox_glynn(1.0, 0.0), numeric_error);
+  EXPECT_THROW(fox_glynn(1.0, 1.0), numeric_error);
+}
+
+TEST(SortedSet, NormalizeSortsAndDedupes) {
+  std::vector<int> v{3, 1, 3, 2, 1};
+  sorted_set::normalize(v);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SortedSet, SubsetAndContains) {
+  const std::vector<int> super{1, 2, 4, 6};
+  EXPECT_TRUE(sorted_set::is_subset({2, 6}, super));
+  EXPECT_FALSE(sorted_set::is_subset({2, 5}, super));
+  EXPECT_TRUE(sorted_set::is_subset({}, super));
+  EXPECT_TRUE(sorted_set::contains(super, 4));
+  EXPECT_FALSE(sorted_set::contains(super, 5));
+}
+
+TEST(SortedSet, InsertEraseKeepInvariant) {
+  std::vector<int> v{1, 3};
+  sorted_set::insert(v, 2);
+  sorted_set::insert(v, 2);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+  sorted_set::erase(v, 1);
+  sorted_set::erase(v, 99);
+  EXPECT_EQ(v, (std::vector<int>{2, 3}));
+}
+
+TEST(SortedSet, BinaryOperations) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{2, 3, 4};
+  EXPECT_EQ(sorted_set::set_union(a, b), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sorted_set::set_intersection(a, b), (std::vector<int>{2, 3}));
+  EXPECT_EQ(sorted_set::set_difference(a, b), (std::vector<int>{1}));
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  thread_pool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  thread_pool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  thread_pool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(TextTable, AlignsColumnsAndRejectsBadRows) {
+  text_table t({"setting", "value"});
+  t.add_row({"horizon", "24h"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| setting | value |"), std::string::npos);
+  EXPECT_NE(s.find("| horizon | 24h   |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), model_error);
+}
+
+TEST(Formatting, SciAndDuration) {
+  EXPECT_EQ(sci(4.09e-9), "4.09e-09");
+  EXPECT_EQ(duration_str(7.9), "7.9s");
+  EXPECT_EQ(duration_str(132.0), "2m 12s");
+}
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bdd/ft_bdd.hpp"
+#include "ft/voting.hpp"
+#include "mcs/mocus.hpp"
+#include "product/product_ctmc.hpp"
+#include "test_models.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+namespace {
+
+// --- Voting gates --------------------------------------------------------
+
+TEST(Voting, TwoOutOfThreeClosedForm) {
+  fault_tree ft;
+  const double p = 0.1;
+  std::vector<node_index> pumps;
+  for (int i = 0; i < 3; ++i) {
+    pumps.push_back(ft.add_basic_event("P" + std::to_string(i), p));
+  }
+  ft.set_top(add_voting_gate(ft, "2oo3", 2, pumps));
+  // P[at least 2 of 3] = 3 p^2 (1-p) + p^3.
+  const double expected = 3 * p * p * (1 - p) + p * p * p;
+  EXPECT_NEAR(ft.probability_brute_force(), expected, 1e-12);
+  EXPECT_NEAR(ft_bdd(ft).probability(), expected, 1e-12);
+  // Minimal cutsets: the three pairs.
+  const auto cutsets = mocus(ft).cutsets;
+  ASSERT_EQ(cutsets.size(), 3u);
+  for (const auto& c : cutsets) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Voting, DegenerateCasesCollapse) {
+  fault_tree ft;
+  const node_index a = ft.add_basic_event("a", 0.2);
+  const node_index b = ft.add_basic_event("b", 0.3);
+  const node_index any = add_voting_gate(ft, "1oo2", 1, {a, b});
+  const node_index all = add_voting_gate(ft, "2oo2", 2, {a, b});
+  EXPECT_EQ(ft.node(any).type, gate_type::or_gate);
+  EXPECT_EQ(ft.node(all).type, gate_type::and_gate);
+  ft.set_top(ft.add_gate("top", gate_type::or_gate, {any, all}));
+  EXPECT_NEAR(ft.probability_brute_force(), 1 - 0.8 * 0.7, 1e-12);
+}
+
+TEST(Voting, ThreeOutOfFiveCounts) {
+  fault_tree ft;
+  std::vector<node_index> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(ft.add_basic_event("e" + std::to_string(i), 0.5));
+  }
+  ft.set_top(add_voting_gate(ft, "3oo5", 3, events));
+  // With p = 1/2 every pattern is equally likely: P = #patterns(>=3)/32.
+  double expected = 0.0;
+  for (int k = 3; k <= 5; ++k) {
+    double combos = 1;
+    for (int i = 0; i < k; ++i) combos = combos * (5 - i) / (i + 1);
+    expected += combos;
+  }
+  expected /= 32.0;
+  EXPECT_NEAR(ft.probability_brute_force(), expected, 1e-12);
+  EXPECT_EQ(mocus(ft).cutsets.size(), 10u);  // C(5,3)
+}
+
+TEST(Voting, RejectsBadParameters) {
+  fault_tree ft;
+  const node_index a = ft.add_basic_event("a", 0.1);
+  EXPECT_THROW(add_voting_gate(ft, "g", 0, {a}), model_error);
+  EXPECT_THROW(add_voting_gate(ft, "g", 2, {a}), model_error);
+  EXPECT_THROW(add_voting_gate(ft, "g", 1, {}), model_error);
+}
+
+// --- First-failure attribution -------------------------------------------
+
+TEST(Attribution, SingleEventTakesAllMass) {
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(0.05, 0.0));
+  tree.set_top(tree.add_gate("top", gate_type::or_gate, {x}));
+  const double t = 12.0;
+  const attribution_result a = failure_attribution(tree, t);
+  EXPECT_NEAR(a.total, 1 - std::exp(-0.05 * t), 1e-9);
+  EXPECT_NEAR(a.by_event.at(x), a.total, 1e-12);
+  EXPECT_DOUBLE_EQ(a.initially_failed, 0.0);
+}
+
+TEST(Attribution, RaceUnderAndGate) {
+  // AND(x, y) without repairs: the completing event is the one failing
+  // last. P(y last, both <= t) = int_0^t ly e^{-ly u}(1 - e^{-lx u}) du.
+  const double lx = 0.10;
+  const double ly = 0.04;
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(lx, 0.0));
+  const node_index y =
+      tree.add_dynamic_event("y", make_repairable(ly, 0.0));
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {x, y}));
+  const double t = 30.0;
+
+  const auto last_is = [&](double la, double lb) {
+    // P(a fails last and both within t), a ~ Exp(la), b ~ Exp(lb):
+    // int_0^t la e^{-la u}(1 - e^{-lb u}) du.
+    return (1 - std::exp(-la * t)) -
+           la / (la + lb) * (1 - std::exp(-(la + lb) * t));
+  };
+  const attribution_result a = failure_attribution(tree, t);
+  EXPECT_NEAR(a.by_event.at(x), last_is(lx, ly), 1e-9);
+  EXPECT_NEAR(a.by_event.at(y), last_is(ly, lx), 1e-9);
+  EXPECT_NEAR(a.total, exact_failure_probability(tree, t), 1e-9);
+}
+
+TEST(Attribution, StaticFailuresCountAsInitial) {
+  sd_fault_tree tree(testing::example1_static());
+  const double t = 7.0;
+  const attribution_result a = failure_attribution(tree, t);
+  // Purely static tree: everything that fails is failed at time 0.
+  EXPECT_TRUE(a.by_event.empty());
+  EXPECT_NEAR(a.initially_failed,
+              testing::example1_static().probability_brute_force(), 1e-12);
+}
+
+TEST(Attribution, RunningExampleTotalsMatchExact) {
+  const sd_fault_tree tree = testing::example3_sd();
+  const double t = 24.0;
+  const attribution_result a = failure_attribution(tree, t);
+  EXPECT_NEAR(a.total, exact_failure_probability(tree, t), 1e-9);
+  // The tank never completes a failure dynamically (it is static), and
+  // dynamic completions come from pump events only.
+  for (const auto& [event, mass] : a.by_event) {
+    EXPECT_TRUE(tree.is_dynamic(event));
+    EXPECT_GT(mass, 0.0);
+  }
+  // Initial mass: tank failed at t=0 plus both pumps failing to start etc.
+  EXPECT_GT(a.initially_failed, testing::p_tank * 0.9);
+}
+
+TEST(Attribution, TriggeredSpareCompletesTheSequence) {
+  // x triggers y, top = AND(GX, y): y always fails last.
+  sd_fault_tree tree;
+  const node_index x =
+      tree.add_dynamic_event("x", make_repairable(0.05, 0.0));
+  const node_index gx = tree.add_gate("GX", gate_type::or_gate, {x});
+  const node_index y = tree.add_dynamic_event(
+      "y", make_erlang_triggered(1, 0.08, 0.0, 0.0));
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, {gx, y}));
+  tree.set_trigger(gx, y);
+  const attribution_result a = failure_attribution(tree, 24.0);
+  EXPECT_EQ(a.by_event.size(), 1u);
+  EXPECT_GT(a.by_event.at(y), 0.0);
+  EXPECT_DOUBLE_EQ(a.initially_failed, 0.0);
+}
+
+}  // namespace
+}  // namespace sdft

@@ -1,0 +1,344 @@
+// sdft — command-line front end to the SD fault tree analysis library.
+//
+//   sdft static <file>                 exact + rare-event static analysis
+//   sdft mcs <file> [options]          minimal cutsets (on FT-bar for SD)
+//   sdft analyze <file> [options]      the paper's SD pipeline (§V)
+//   sdft exact <file> [options]        exact product-CTMC semantics (§III)
+//   sdft importance <file> [options]   Fussell-Vesely ranking
+//   sdft classify <file>               trigger-gate classification (§V-A)
+//   sdft convert <file>                echo the normalised model text
+//
+// Options: --horizon H (hours, default 24), --cutoff C (default 0),
+//          --threads N, --mode exact|under|over, --top K (rows to print),
+//          --details (per-cutset breakdown).
+//
+// Files use the SD fault tree text format (sdft/parser.hpp); purely static
+// models are ordinary SD files without dyn/trigger lines.
+
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdd/ft_bdd.hpp"
+#include "core/analyzer.hpp"
+#include "core/risk_measures.hpp"
+#include "ft/modules.hpp"
+#include "mcs/importance.hpp"
+#include "mcs/mocus.hpp"
+#include "product/product_ctmc.hpp"
+#include "sdft/classify.hpp"
+#include "sdft/parser.hpp"
+#include "ft/openpsa.hpp"
+#include "sdft/translate.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace sdft;
+
+struct cli_options {
+  std::string command;
+  std::string file;
+  double horizon = 24.0;
+  double cutoff = 0.0;
+  std::size_t threads = 0;
+  approx_mode mode = approx_mode::as_classified;
+  std::size_t top = 20;
+  bool details = false;
+  std::size_t runs = 100'000;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sdft <static|simulate|export|import|mcs|analyze|exact|importance|classify|convert> "
+      "<file>\n"
+      "            [--horizon H] [--cutoff C] [--threads N]\n"
+      "            [--mode exact|under|over] [--top K] [--details]\n");
+  std::exit(2);
+}
+
+cli_options parse_args(int argc, char** argv) {
+  if (argc < 3) usage();
+  cli_options opt;
+  opt.command = argv[1];
+  opt.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--horizon") {
+      opt.horizon = std::stod(next());
+    } else if (arg == "--cutoff") {
+      opt.cutoff = std::stod(next());
+    } else if (arg == "--threads") {
+      opt.threads = std::stoul(next());
+    } else if (arg == "--top") {
+      opt.top = std::stoul(next());
+    } else if (arg == "--details") {
+      opt.details = true;
+    } else if (arg == "--runs") {
+      opt.runs = std::stoul(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--mode") {
+      const std::string mode = next();
+      if (mode == "exact") {
+        opt.mode = approx_mode::as_classified;
+      } else if (mode == "under") {
+        opt.mode = approx_mode::under_approximate;
+      } else if (mode == "over") {
+        opt.mode = approx_mode::over_approximate;
+      } else {
+        usage();
+      }
+    } else {
+      usage();
+    }
+  }
+  return opt;
+}
+
+sd_fault_tree load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw error("cannot open '" + path + "'");
+  return parse_sd_fault_tree(in);
+}
+
+std::string cutset_names(const fault_tree& ft, const cutset& c) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    out += (i ? ", " : "") + ft.node(c[i]).name;
+  }
+  return out + "}";
+}
+
+int cmd_static(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  require_model(tree.dynamic_events().empty(),
+                "static analysis requires a purely static model; use "
+                "'analyze' for SD models");
+  const fault_tree& ft = tree.structure();
+  mocus_options mopts;
+  mopts.cutoff = opt.cutoff;
+  const mocus_result mcs = mocus(ft, mopts);
+  std::printf("basic events:     %zu\n", ft.num_basic_events());
+  std::printf("gates:            %zu\n", ft.num_gates());
+  std::printf("modules:          %zu\n", find_modules(ft).size());
+  std::printf("minimal cutsets:  %zu (cutoff %s)\n", mcs.cutsets.size(),
+              sci(opt.cutoff).c_str());
+  std::printf("rare-event:       %s\n",
+              sci(rare_event_probability(ft, mcs.cutsets)).c_str());
+  std::printf("min-cut bound:    %s\n",
+              sci(min_cut_upper_bound(ft, mcs.cutsets)).c_str());
+  std::printf("exact (BDD):      %s\n", sci(ft_bdd(ft).probability()).c_str());
+  std::printf("exact (modular):  %s\n", sci(modular_probability(ft)).c_str());
+  return 0;
+}
+
+int cmd_mcs(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  const static_translation tr =
+      translate_to_static(tree, opt.horizon, 1e-10);
+  mocus_options mopts;
+  mopts.cutoff = opt.cutoff;
+  const mocus_result mcs = mocus(tr.ft_bar, mopts);
+  std::printf("# %zu minimal cutsets (top %zu by probability)\n",
+              mcs.cutsets.size(), opt.top);
+  std::vector<std::pair<double, const cutset*>> ranked;
+  for (const auto& c : mcs.cutsets) {
+    ranked.emplace_back(cutset_probability(tr.ft_bar, c), &c);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  text_table table({"p (FT-bar)", "cutset"});
+  for (std::size_t i = 0; i < ranked.size() && i < opt.top; ++i) {
+    table.add_row({sci(ranked[i].first),
+                   cutset_names(tr.ft_bar, *ranked[i].second)});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_analyze(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  analysis_options aopts;
+  aopts.horizon = opt.horizon;
+  aopts.cutoff = opt.cutoff;
+  aopts.threads = opt.threads;
+  aopts.mode = opt.mode;
+  const analysis_result result = analyze(tree, aopts);
+  std::printf("failure probability (p_rea): %s  [horizon %gh]\n",
+              sci(result.failure_probability).c_str(), opt.horizon);
+  std::printf("cutsets: %zu (%zu dynamic), mean dyn events %.2f (%.2f added)\n",
+              result.num_cutsets, result.num_dynamic_cutsets,
+              result.mean_dynamic_events, result.mean_added_dynamic_events);
+  std::printf("times: translate %.2fs, MCS %.2fs, quantify %.2fs\n",
+              result.translate_seconds, result.mcs_seconds,
+              result.quantify_seconds);
+  if (opt.details) {
+    auto sorted = result.cutsets;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const cutset_result& a, const cutset_result& b) {
+                return a.probability > b.probability;
+              });
+    text_table table({"p-tilde", "dyn", "chain", "cutset"});
+    for (std::size_t i = 0; i < sorted.size() && i < opt.top; ++i) {
+      table.add_row({sci(sorted[i].probability),
+                     std::to_string(sorted[i].num_dynamic +
+                                    sorted[i].num_added_dynamic),
+                     std::to_string(sorted[i].chain_states),
+                     cutset_names(tree.structure(), sorted[i].events)});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+  return 0;
+}
+
+int cmd_exact(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  const product_ctmc product = build_product_ctmc(tree);
+  std::printf("product chain: %zu consistent states\n", product.num_states());
+  std::printf("exact failure probability: %s  [horizon %gh]\n",
+              sci(exact_failure_probability(tree, opt.horizon)).c_str(),
+              opt.horizon);
+  return 0;
+}
+
+int cmd_importance(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  analysis_options aopts;
+  aopts.horizon = opt.horizon;
+  aopts.cutoff = opt.cutoff;
+  aopts.threads = opt.threads;
+  const analysis_result result = analyze(tree, aopts);
+  const auto fv = fussell_vesely_sd(tree, result);
+  std::vector<std::pair<double, node_index>> ranked;
+  for (const auto& [event, value] : fv) ranked.emplace_back(value, event);
+  std::sort(ranked.rbegin(), ranked.rend());
+  text_table table({"FV", "event", "kind"});
+  for (std::size_t i = 0; i < ranked.size() && i < opt.top; ++i) {
+    const node_index b = ranked[i].second;
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.4f", ranked[i].first);
+    table.add_row({buf, tree.structure().node(b).name,
+                   tree.is_dynamic(b) ? "dynamic" : "static"});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_classify(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  const trigger_report report = analyze_triggers(tree);
+  if (report.gates.empty()) {
+    std::printf("no triggering gates\n");
+    return 0;
+  }
+  text_table table({"trigger gate", "class", "uniform", "events"});
+  for (const auto& entry : report.gates) {
+    std::string events;
+    for (node_index e : tree.triggered_events(entry.gate)) {
+      events += (events.empty() ? "" : ", ") + tree.structure().node(e).name;
+    }
+    table.add_row({tree.structure().node(entry.gate).name,
+                   to_string(entry.cls),
+                   entry.uniform_triggering ? "yes" : "no", events});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("efficient per paper §V-C: %s\n",
+              report.efficient ? "yes" : "no (general / non-uniform joins)");
+  return 0;
+}
+
+int cmd_convert(const cli_options& opt) {
+  std::printf("%s", write_sd_fault_tree(load(opt.file)).c_str());
+  return 0;
+}
+
+int cmd_simulate(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  simulation_options sopts;
+  sopts.runs = opt.runs;
+  sopts.seed = opt.seed;
+  const simulation_result r =
+      simulate_failure_probability(tree, opt.horizon, sopts);
+  std::printf("simulated failure probability: %s  [horizon %gh]\n",
+              sci(r.estimate).c_str(), opt.horizon);
+  std::printf("95%% CI: [%s, %s]  (%zu failures in %zu runs)\n",
+              sci(r.ci_low).c_str(), sci(r.ci_high).c_str(), r.failures,
+              r.runs);
+  return 0;
+}
+
+int cmd_export(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  require_model(tree.dynamic_events().empty(),
+                "Open-PSA MEF export covers static models only");
+  std::printf("%s", write_openpsa(tree.structure()).c_str());
+  return 0;
+}
+
+int cmd_uncertainty(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  analysis_options aopts;
+  aopts.horizon = opt.horizon;
+  aopts.cutoff = opt.cutoff;
+  aopts.threads = opt.threads;
+  const analysis_result result = analyze(tree, aopts);
+  uncertainty_options uopts;
+  uopts.samples = opt.runs;
+  uopts.seed = opt.seed;
+  const uncertainty_result u = uncertainty_analysis(result, uopts);
+  std::printf("point estimate: %s\n", sci(u.point_estimate).c_str());
+  std::printf("mean:           %s\n", sci(u.mean).c_str());
+  std::printf("median:         %s\n", sci(u.median).c_str());
+  std::printf("90%% band:       [%s, %s]  (%zu samples, EF %.1f)\n",
+              sci(u.p05).c_str(), sci(u.p95).c_str(), u.samples.size(),
+              uopts.error_factor);
+  return 0;
+}
+
+int cmd_import(const cli_options& opt) {
+  std::ifstream in(opt.file);
+  if (!in) throw error("cannot open '" + opt.file + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const fault_tree ft = parse_openpsa(text.str());
+  const sd_fault_tree tree(ft);
+  std::printf("%s", write_sd_fault_tree(tree).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cli_options opt = parse_args(argc, argv);
+    if (opt.command == "static") return cmd_static(opt);
+    if (opt.command == "mcs") return cmd_mcs(opt);
+    if (opt.command == "analyze") return cmd_analyze(opt);
+    if (opt.command == "exact") return cmd_exact(opt);
+    if (opt.command == "importance") return cmd_importance(opt);
+    if (opt.command == "classify") return cmd_classify(opt);
+    if (opt.command == "convert") return cmd_convert(opt);
+    if (opt.command == "simulate") return cmd_simulate(opt);
+    if (opt.command == "export") return cmd_export(opt);
+    if (opt.command == "import") return cmd_import(opt);
+    if (opt.command == "uncertainty") return cmd_uncertainty(opt);
+    usage();
+  } catch (const sdft::error& e) {
+    std::fprintf(stderr, "sdft: %s\n", e.what());
+    return 1;
+  }
+}
