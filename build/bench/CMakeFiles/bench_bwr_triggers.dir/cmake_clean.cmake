@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bwr_triggers.dir/bench_bwr_triggers.cpp.o"
+  "CMakeFiles/bench_bwr_triggers.dir/bench_bwr_triggers.cpp.o.d"
+  "bench_bwr_triggers"
+  "bench_bwr_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bwr_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

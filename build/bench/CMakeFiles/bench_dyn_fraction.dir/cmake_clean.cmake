@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dyn_fraction.dir/bench_dyn_fraction.cpp.o"
+  "CMakeFiles/bench_dyn_fraction.dir/bench_dyn_fraction.cpp.o.d"
+  "bench_dyn_fraction"
+  "bench_dyn_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dyn_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

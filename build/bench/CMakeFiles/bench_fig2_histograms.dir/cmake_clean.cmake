@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_histograms.dir/bench_fig2_histograms.cpp.o"
+  "CMakeFiles/bench_fig2_histograms.dir/bench_fig2_histograms.cpp.o.d"
+  "bench_fig2_histograms"
+  "bench_fig2_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

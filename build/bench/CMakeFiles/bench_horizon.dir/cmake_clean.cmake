@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_horizon.dir/bench_horizon.cpp.o"
+  "CMakeFiles/bench_horizon.dir/bench_horizon.cpp.o.d"
+  "bench_horizon"
+  "bench_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

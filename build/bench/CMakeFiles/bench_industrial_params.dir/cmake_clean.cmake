@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_industrial_params.dir/bench_industrial_params.cpp.o"
+  "CMakeFiles/bench_industrial_params.dir/bench_industrial_params.cpp.o.d"
+  "bench_industrial_params"
+  "bench_industrial_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_industrial_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

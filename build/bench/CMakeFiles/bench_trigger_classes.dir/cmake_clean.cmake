@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trigger_classes.dir/bench_trigger_classes.cpp.o"
+  "CMakeFiles/bench_trigger_classes.dir/bench_trigger_classes.cpp.o.d"
+  "bench_trigger_classes"
+  "bench_trigger_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trigger_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwr_safety_study.dir/bwr_safety_study.cpp.o"
+  "CMakeFiles/bwr_safety_study.dir/bwr_safety_study.cpp.o.d"
+  "bwr_safety_study"
+  "bwr_safety_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwr_safety_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

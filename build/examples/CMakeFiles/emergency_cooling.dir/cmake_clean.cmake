@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency_cooling.dir/emergency_cooling.cpp.o"
+  "CMakeFiles/emergency_cooling.dir/emergency_cooling.cpp.o.d"
+  "emergency_cooling"
+  "emergency_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_scale.dir/industrial_scale.cpp.o"
+  "CMakeFiles/industrial_scale.dir/industrial_scale.cpp.o.d"
+  "industrial_scale"
+  "industrial_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

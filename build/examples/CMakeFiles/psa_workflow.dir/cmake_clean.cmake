@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psa_workflow.dir/psa_workflow.cpp.o"
+  "CMakeFiles/psa_workflow.dir/psa_workflow.cpp.o.d"
+  "psa_workflow"
+  "psa_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psa_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd.cpp" "src/bdd/CMakeFiles/sdft_bdd.dir/bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/sdft_bdd.dir/bdd.cpp.o.d"
+  "/root/repo/src/bdd/ft_bdd.cpp" "src/bdd/CMakeFiles/sdft_bdd.dir/ft_bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/sdft_bdd.dir/ft_bdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ft/CMakeFiles/sdft_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/sdft_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/sdft_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/sdft_bdd.dir/ft_bdd.cpp.o"
+  "CMakeFiles/sdft_bdd.dir/ft_bdd.cpp.o.d"
+  "libsdft_bdd.a"
+  "libsdft_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

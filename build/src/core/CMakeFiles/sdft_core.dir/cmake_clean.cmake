@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_core.dir/analyzer.cpp.o"
+  "CMakeFiles/sdft_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/sdft_core.dir/mcs_model.cpp.o"
+  "CMakeFiles/sdft_core.dir/mcs_model.cpp.o.d"
+  "CMakeFiles/sdft_core.dir/risk_measures.cpp.o"
+  "CMakeFiles/sdft_core.dir/risk_measures.cpp.o.d"
+  "libsdft_core.a"
+  "libsdft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/ctmc.cpp" "src/ctmc/CMakeFiles/sdft_ctmc.dir/ctmc.cpp.o" "gcc" "src/ctmc/CMakeFiles/sdft_ctmc.dir/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/stationary.cpp" "src/ctmc/CMakeFiles/sdft_ctmc.dir/stationary.cpp.o" "gcc" "src/ctmc/CMakeFiles/sdft_ctmc.dir/stationary.cpp.o.d"
+  "/root/repo/src/ctmc/transient.cpp" "src/ctmc/CMakeFiles/sdft_ctmc.dir/transient.cpp.o" "gcc" "src/ctmc/CMakeFiles/sdft_ctmc.dir/transient.cpp.o.d"
+  "/root/repo/src/ctmc/triggered.cpp" "src/ctmc/CMakeFiles/sdft_ctmc.dir/triggered.cpp.o" "gcc" "src/ctmc/CMakeFiles/sdft_ctmc.dir/triggered.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_ctmc.dir/ctmc.cpp.o"
+  "CMakeFiles/sdft_ctmc.dir/ctmc.cpp.o.d"
+  "CMakeFiles/sdft_ctmc.dir/stationary.cpp.o"
+  "CMakeFiles/sdft_ctmc.dir/stationary.cpp.o.d"
+  "CMakeFiles/sdft_ctmc.dir/transient.cpp.o"
+  "CMakeFiles/sdft_ctmc.dir/transient.cpp.o.d"
+  "CMakeFiles/sdft_ctmc.dir/triggered.cpp.o"
+  "CMakeFiles/sdft_ctmc.dir/triggered.cpp.o.d"
+  "libsdft_ctmc.a"
+  "libsdft_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

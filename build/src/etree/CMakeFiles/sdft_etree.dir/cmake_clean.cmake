@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_etree.dir/event_tree.cpp.o"
+  "CMakeFiles/sdft_etree.dir/event_tree.cpp.o.d"
+  "libsdft_etree.a"
+  "libsdft_etree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_etree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

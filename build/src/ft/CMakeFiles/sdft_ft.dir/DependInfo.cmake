@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/ccf.cpp" "src/ft/CMakeFiles/sdft_ft.dir/ccf.cpp.o" "gcc" "src/ft/CMakeFiles/sdft_ft.dir/ccf.cpp.o.d"
+  "/root/repo/src/ft/fault_tree.cpp" "src/ft/CMakeFiles/sdft_ft.dir/fault_tree.cpp.o" "gcc" "src/ft/CMakeFiles/sdft_ft.dir/fault_tree.cpp.o.d"
+  "/root/repo/src/ft/modules.cpp" "src/ft/CMakeFiles/sdft_ft.dir/modules.cpp.o" "gcc" "src/ft/CMakeFiles/sdft_ft.dir/modules.cpp.o.d"
+  "/root/repo/src/ft/openpsa.cpp" "src/ft/CMakeFiles/sdft_ft.dir/openpsa.cpp.o" "gcc" "src/ft/CMakeFiles/sdft_ft.dir/openpsa.cpp.o.d"
+  "/root/repo/src/ft/parser.cpp" "src/ft/CMakeFiles/sdft_ft.dir/parser.cpp.o" "gcc" "src/ft/CMakeFiles/sdft_ft.dir/parser.cpp.o.d"
+  "/root/repo/src/ft/voting.cpp" "src/ft/CMakeFiles/sdft_ft.dir/voting.cpp.o" "gcc" "src/ft/CMakeFiles/sdft_ft.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_ft.dir/ccf.cpp.o"
+  "CMakeFiles/sdft_ft.dir/ccf.cpp.o.d"
+  "CMakeFiles/sdft_ft.dir/fault_tree.cpp.o"
+  "CMakeFiles/sdft_ft.dir/fault_tree.cpp.o.d"
+  "CMakeFiles/sdft_ft.dir/modules.cpp.o"
+  "CMakeFiles/sdft_ft.dir/modules.cpp.o.d"
+  "CMakeFiles/sdft_ft.dir/openpsa.cpp.o"
+  "CMakeFiles/sdft_ft.dir/openpsa.cpp.o.d"
+  "CMakeFiles/sdft_ft.dir/parser.cpp.o"
+  "CMakeFiles/sdft_ft.dir/parser.cpp.o.d"
+  "CMakeFiles/sdft_ft.dir/voting.cpp.o"
+  "CMakeFiles/sdft_ft.dir/voting.cpp.o.d"
+  "libsdft_ft.a"
+  "libsdft_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

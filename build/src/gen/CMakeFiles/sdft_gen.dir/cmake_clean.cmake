@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_gen.dir/bwr.cpp.o"
+  "CMakeFiles/sdft_gen.dir/bwr.cpp.o.d"
+  "CMakeFiles/sdft_gen.dir/industrial.cpp.o"
+  "CMakeFiles/sdft_gen.dir/industrial.cpp.o.d"
+  "libsdft_gen.a"
+  "libsdft_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

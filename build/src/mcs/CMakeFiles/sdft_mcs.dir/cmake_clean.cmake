@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_mcs.dir/cutset.cpp.o"
+  "CMakeFiles/sdft_mcs.dir/cutset.cpp.o.d"
+  "CMakeFiles/sdft_mcs.dir/importance.cpp.o"
+  "CMakeFiles/sdft_mcs.dir/importance.cpp.o.d"
+  "CMakeFiles/sdft_mcs.dir/mocus.cpp.o"
+  "CMakeFiles/sdft_mcs.dir/mocus.cpp.o.d"
+  "libsdft_mcs.a"
+  "libsdft_mcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

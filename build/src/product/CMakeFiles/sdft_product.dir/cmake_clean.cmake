@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_product.dir/product_ctmc.cpp.o"
+  "CMakeFiles/sdft_product.dir/product_ctmc.cpp.o.d"
+  "libsdft_product.a"
+  "libsdft_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdft_product.a"
+)

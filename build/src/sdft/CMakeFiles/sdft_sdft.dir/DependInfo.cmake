@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdft/classify.cpp" "src/sdft/CMakeFiles/sdft_sdft.dir/classify.cpp.o" "gcc" "src/sdft/CMakeFiles/sdft_sdft.dir/classify.cpp.o.d"
+  "/root/repo/src/sdft/parser.cpp" "src/sdft/CMakeFiles/sdft_sdft.dir/parser.cpp.o" "gcc" "src/sdft/CMakeFiles/sdft_sdft.dir/parser.cpp.o.d"
+  "/root/repo/src/sdft/sd_fault_tree.cpp" "src/sdft/CMakeFiles/sdft_sdft.dir/sd_fault_tree.cpp.o" "gcc" "src/sdft/CMakeFiles/sdft_sdft.dir/sd_fault_tree.cpp.o.d"
+  "/root/repo/src/sdft/translate.cpp" "src/sdft/CMakeFiles/sdft_sdft.dir/translate.cpp.o" "gcc" "src/sdft/CMakeFiles/sdft_sdft.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ft/CMakeFiles/sdft_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/sdft_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

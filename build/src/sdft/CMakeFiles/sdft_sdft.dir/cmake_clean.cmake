@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_sdft.dir/classify.cpp.o"
+  "CMakeFiles/sdft_sdft.dir/classify.cpp.o.d"
+  "CMakeFiles/sdft_sdft.dir/parser.cpp.o"
+  "CMakeFiles/sdft_sdft.dir/parser.cpp.o.d"
+  "CMakeFiles/sdft_sdft.dir/sd_fault_tree.cpp.o"
+  "CMakeFiles/sdft_sdft.dir/sd_fault_tree.cpp.o.d"
+  "CMakeFiles/sdft_sdft.dir/translate.cpp.o"
+  "CMakeFiles/sdft_sdft.dir/translate.cpp.o.d"
+  "libsdft_sdft.a"
+  "libsdft_sdft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_sdft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sdft_sim.dir/simulator.cpp.o.d"
+  "libsdft_sim.a"
+  "libsdft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

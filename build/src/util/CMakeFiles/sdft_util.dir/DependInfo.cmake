@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/fox_glynn.cpp" "src/util/CMakeFiles/sdft_util.dir/fox_glynn.cpp.o" "gcc" "src/util/CMakeFiles/sdft_util.dir/fox_glynn.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/sdft_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/sdft_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/sdft_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/sdft_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/sdft_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/sdft_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/xml.cpp" "src/util/CMakeFiles/sdft_util.dir/xml.cpp.o" "gcc" "src/util/CMakeFiles/sdft_util.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

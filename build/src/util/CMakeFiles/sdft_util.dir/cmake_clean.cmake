@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_util.dir/fox_glynn.cpp.o"
+  "CMakeFiles/sdft_util.dir/fox_glynn.cpp.o.d"
+  "CMakeFiles/sdft_util.dir/rng.cpp.o"
+  "CMakeFiles/sdft_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sdft_util.dir/table.cpp.o"
+  "CMakeFiles/sdft_util.dir/table.cpp.o.d"
+  "CMakeFiles/sdft_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sdft_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/sdft_util.dir/xml.cpp.o"
+  "CMakeFiles/sdft_util.dir/xml.cpp.o.d"
+  "libsdft_util.a"
+  "libsdft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

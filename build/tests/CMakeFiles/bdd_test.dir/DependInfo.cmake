@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bdd_test.cpp" "tests/CMakeFiles/bdd_test.dir/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/bdd_test.dir/bdd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/etree/CMakeFiles/sdft_etree.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sdft_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/product/CMakeFiles/sdft_product.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdft/CMakeFiles/sdft_sdft.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/sdft_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/sdft_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/sdft_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ft/CMakeFiles/sdft_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

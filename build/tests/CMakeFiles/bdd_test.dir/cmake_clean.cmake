@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_test.dir/bdd_test.cpp.o"
+  "CMakeFiles/bdd_test.dir/bdd_test.cpp.o.d"
+  "bdd_test"
+  "bdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

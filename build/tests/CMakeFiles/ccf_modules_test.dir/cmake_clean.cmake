@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_modules_test.dir/ccf_modules_test.cpp.o"
+  "CMakeFiles/ccf_modules_test.dir/ccf_modules_test.cpp.o.d"
+  "ccf_modules_test"
+  "ccf_modules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctmc_test.dir/ctmc_test.cpp.o"
+  "CMakeFiles/ctmc_test.dir/ctmc_test.cpp.o.d"
+  "ctmc_test"
+  "ctmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etree_test.dir/etree_test.cpp.o"
+  "CMakeFiles/etree_test.dir/etree_test.cpp.o.d"
+  "etree_test"
+  "etree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

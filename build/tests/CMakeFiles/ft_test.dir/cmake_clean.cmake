@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test.dir/ft_test.cpp.o"
+  "CMakeFiles/ft_test.dir/ft_test.cpp.o.d"
+  "ft_test"
+  "ft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

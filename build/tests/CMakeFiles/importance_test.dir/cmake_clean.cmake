@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/importance_test.dir/importance_test.cpp.o"
+  "CMakeFiles/importance_test.dir/importance_test.cpp.o.d"
+  "importance_test"
+  "importance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/importance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

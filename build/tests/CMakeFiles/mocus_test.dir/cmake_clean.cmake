@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocus_test.dir/mocus_test.cpp.o"
+  "CMakeFiles/mocus_test.dir/mocus_test.cpp.o.d"
+  "mocus_test"
+  "mocus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openpsa_test.dir/openpsa_test.cpp.o"
+  "CMakeFiles/openpsa_test.dir/openpsa_test.cpp.o.d"
+  "openpsa_test"
+  "openpsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openpsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_test.dir/product_test.cpp.o"
+  "CMakeFiles/product_test.dir/product_test.cpp.o.d"
+  "product_test"
+  "product_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_measures_test.dir/risk_measures_test.cpp.o"
+  "CMakeFiles/risk_measures_test.dir/risk_measures_test.cpp.o.d"
+  "risk_measures_test"
+  "risk_measures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

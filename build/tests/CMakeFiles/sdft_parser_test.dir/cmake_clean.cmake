@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_parser_test.dir/sdft_parser_test.cpp.o"
+  "CMakeFiles/sdft_parser_test.dir/sdft_parser_test.cpp.o.d"
+  "sdft_parser_test"
+  "sdft_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft_test.dir/sdft_test.cpp.o"
+  "CMakeFiles/sdft_test.dir/sdft_test.cpp.o.d"
+  "sdft_test"
+  "sdft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stationary_test.dir/stationary_test.cpp.o"
+  "CMakeFiles/stationary_test.dir/stationary_test.cpp.o.d"
+  "stationary_test"
+  "stationary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_attribution_test.dir/voting_attribution_test.cpp.o"
+  "CMakeFiles/voting_attribution_test.dir/voting_attribution_test.cpp.o.d"
+  "voting_attribution_test"
+  "voting_attribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_attribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdft.dir/sdft_cli.cpp.o"
+  "CMakeFiles/sdft.dir/sdft_cli.cpp.o.d"
+  "sdft"
+  "sdft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

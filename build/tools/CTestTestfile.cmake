@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_analyze_cooling "/root/repo/build/tools/sdft" "analyze" "/root/repo/data/cooling.sdft" "--horizon" "24")
+set_tests_properties(cli_analyze_cooling PROPERTIES  PASS_REGULAR_EXPRESSION "failure probability \\(p_rea\\): 3\\.5" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_exact_cooling "/root/repo/build/tools/sdft" "exact" "/root/repo/data/cooling.sdft" "--horizon" "24")
+set_tests_properties(cli_exact_cooling PROPERTIES  PASS_REGULAR_EXPRESSION "exact failure probability: 3\\.5" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_classify_sequential "/root/repo/build/tools/sdft" "classify" "/root/repo/data/sequential_trains.sdft")
+set_tests_properties(cli_classify_sequential PROPERTIES  PASS_REGULAR_EXPRESSION "static-branching" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_static_plant "/root/repo/build/tools/sdft" "static" "/root/repo/data/static_plant.sdft")
+set_tests_properties(cli_static_plant PROPERTIES  PASS_REGULAR_EXPRESSION "exact \\(BDD\\):" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mcs_plant "/root/repo/build/tools/sdft" "mcs" "/root/repo/data/static_plant.sdft" "--cutoff" "1e-12")
+set_tests_properties(cli_mcs_plant PROPERTIES  PASS_REGULAR_EXPRESSION "minimal cutsets" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_importance_cooling "/root/repo/build/tools/sdft" "importance" "/root/repo/data/cooling.sdft" "--top" "3")
+set_tests_properties(cli_importance_cooling PROPERTIES  PASS_REGULAR_EXPRESSION "dynamic" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_convert_roundtrip "/root/repo/build/tools/sdft" "convert" "/root/repo/data/cooling.sdft")
+set_tests_properties(cli_convert_roundtrip PROPERTIES  PASS_REGULAR_EXPRESSION "trigger PUMP1 d" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_file "/root/repo/build/tools/sdft" "analyze" "/nonexistent.sdft")
+set_tests_properties(cli_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
