@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "core/analyzer.hpp"
+#include "engine/engine.hpp"
 #include "gen/bwr.hpp"
 #include "mcs/mocus.hpp"
 #include "sdft/classify.hpp"
@@ -29,7 +29,8 @@ int main() {
 
   // Dynamic enrichment: repairable pumps, then the trigger chain of the
   // paper's table, cumulatively.
-  text_table table({"setting", "failure freq.", "dyn. MCSs", "time"});
+  text_table table({"setting", "failure freq.", "dyn. MCSs", "time",
+                    "cache hits"});
   const char* labels[] = {"+FEED&BLEED trigger", "+RHR trigger",
                           "+EFW trigger",        "+ECC trigger",
                           "+SWS trigger",        "+CCW trigger"};
@@ -37,6 +38,9 @@ int main() {
   aopts.horizon = 24.0;
   aopts.cutoff = 1e-15;
   aopts.keep_cutset_details = false;
+  // One engine across the cumulative rows: each row only changes a few
+  // triggers, so most per-MCS transient solves are reused from the cache.
+  analysis_engine engine(aopts);
 
   for (int triggers = 0; triggers <= bwr_num_triggers; ++triggers) {
     bwr_options opts;
@@ -44,12 +48,13 @@ int main() {
     opts.repair_rate = 1.0 / 100.0;
     opts = with_bwr_triggers(opts, triggers);
     const sd_fault_tree model = make_bwr_model(opts);
-    const analysis_result result = analyze(model, aopts);
+    const analysis_result result = engine.run(model);
     table.add_row(
         {triggers == 0 ? "repair rate 1/100h" : labels[triggers - 1],
          sci(result.failure_probability),
          std::to_string(result.num_dynamic_cutsets),
-         duration_str(result.total_seconds)});
+         duration_str(result.total_seconds),
+         std::to_string(result.stats.cache_hits)});
   }
   std::printf("%s\n", table.str().c_str());
 

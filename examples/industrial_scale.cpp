@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "core/analyzer.hpp"
+#include "engine/engine.hpp"
 #include "gen/industrial.hpp"
 #include "mcs/importance.hpp"
 #include "mcs/mocus.hpp"
@@ -46,30 +46,41 @@ int main(int argc, char** argv) {
 
   const auto ranked = rank_by_fussell_vesely(model.ft, mcs.cutsets);
 
+  // One engine across all runs: its quantification cache is keyed by the
+  // structural signature of each per-MCS model, so later (larger) dynamic
+  // fractions reuse the transient solves of earlier ones.
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.cutoff = 1e-15;
+  opts.keep_cutset_details = false;
+  analysis_engine engine(opts);
+
   text_table table({"% dyn. FIO", "failure freq.", "dyn. MCS",
-                    "mean dyn. events", "analysis time"});
+                    "mean dyn. events", "analysis time", "cache hit rate"});
   for (double fraction : {0.1, 0.3, 0.5, 1.0}) {
     annotation_options aopts;
     aopts.dynamic_fraction = fraction;
     aopts.trigger_fraction = 0.1;
     const sd_fault_tree tree = annotate_dynamic(model, ranked, aopts);
 
-    analysis_options opts;
-    opts.horizon = 24.0;
-    opts.cutoff = 1e-15;
-    opts.keep_cutset_details = false;
-    const analysis_result result = analyze(tree, opts);
+    const analysis_result result = engine.run(tree);
     char mean[32];
     std::snprintf(mean, sizeof mean, "%.2f", result.mean_dynamic_events);
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.1f%%",
+                  100.0 * result.stats.cache_hit_rate());
     table.add_row({std::to_string(static_cast<int>(fraction * 100)),
                    sci(result.failure_probability),
                    std::to_string(result.num_dynamic_cutsets), mean,
-                   duration_str(result.total_seconds)});
+                   duration_str(result.total_seconds), rate});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(
       "Dynamic modelling of the most important events lowers the computed\n"
       "frequency; the per-cutset Markov chains stay small, so the\n"
-      "quantification scales with the cutset list, not the state space.\n");
+      "quantification scales with the cutset list, not the state space —\n"
+      "and the engine's memoisation collapses structurally identical\n"
+      "chains (%zu cached solves served %zu quantifications).\n",
+      engine.cache().size(), engine.cache().hits() + engine.cache().misses());
   return 0;
 }

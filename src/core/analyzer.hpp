@@ -1,98 +1,6 @@
 #pragma once
 
-#include <cstddef>
-#include <string>
-#include <vector>
-
-#include "core/mcs_model.hpp"
-#include "mcs/cutset.hpp"
-#include "sdft/sd_fault_tree.hpp"
-
-namespace sdft {
-
-/// Options of the SD fault tree analysis pipeline (paper §V).
-struct analysis_options {
-  /// Mission time / analysis horizon t in hours (paper uses 24h..96h).
-  double horizon = 24.0;
-
-  /// Relevance cutoff c* applied both while generating minimal cutsets on
-  /// FT-bar (conservative, paper eq. (1)) and when summing quantified
-  /// cutsets. 0 disables truncation.
-  double cutoff = 0.0;
-
-  /// Numerical accuracy of the transient analyses.
-  double epsilon = 1e-10;
-
-  /// Worker threads for per-cutset quantification; 0 = hardware threads.
-  /// Cutset quantifications are independent (paper §VI concluding remark).
-  std::size_t threads = 0;
-
-  /// Trigger modelling mode (exact per classification, or the paper's
-  /// §VIII approximation variants).
-  approx_mode mode = approx_mode::as_classified;
-
-  /// Per-cutset product chain size cap; larger cutsets are reported as
-  /// failed quantifications with their conservative FT-bar probability.
-  std::size_t max_product_states = 2'000'000;
-
-  /// Retain the per-cutset breakdown in the result (disable to save memory
-  /// on very large runs).
-  bool keep_cutset_details = true;
-
-  /// Use the dynamic events' reference static probabilities (when set)
-  /// instead of their worst-case probabilities while generating cutsets on
-  /// FT-bar — the paper's "static cutoff" (§VI), which keeps the cutset
-  /// list independent of the dynamic models.
-  bool reference_cutoff = false;
-};
-
-/// Outcome of quantifying one minimal cutset.
-struct cutset_result {
-  cutset events;           ///< original-tree basic-event indices
-  double probability = 0;  ///< p-tilde(C)
-  bool dynamic = false;    ///< quantified via a Markov chain (vs static product)
-  std::size_t num_dynamic = 0;        ///< dynamic events in C
-  std::size_t num_added_dynamic = 0;  ///< dynamic events added by triggering
-  std::size_t chain_states = 0;       ///< product chain size (dynamic only)
-  double seconds = 0;                 ///< quantification wall time
-  std::string error;  ///< non-empty if quantification fell back (see above)
-};
-
-/// Result of the full SD analysis.
-struct analysis_result {
-  /// Rare-event approximation over relevant cutsets (paper §V, p_rea).
-  double failure_probability = 0;
-
-  std::size_t num_cutsets = 0;          ///< relevant MCSs found on FT-bar
-  std::size_t num_dynamic_cutsets = 0;  ///< MCSs quantified dynamically
-
-  double translate_seconds = 0;  ///< FT-bar construction + worst-case p(a)
-  double mcs_seconds = 0;        ///< MOCUS on FT-bar
-  double quantify_seconds = 0;   ///< summed wall time of the pipeline stage
-  double total_seconds = 0;
-
-  std::size_t mocus_partials = 0;
-  std::size_t mocus_discarded = 0;
-
-  /// Per-cutset details (empty if keep_cutset_details is false).
-  std::vector<cutset_result> cutsets;
-
-  /// Histogram over the number of dynamic events per *dynamic* cutset,
-  /// counting both cutset events and events added by trigger modelling —
-  /// the quantity behind the paper's Figure 2. Index = count.
-  std::vector<std::size_t> dynamic_events_histogram;
-
-  /// Mean dynamic events per dynamic cutset, and the mean number of those
-  /// that were added by triggering (paper §VI-A reports 3.02 / 1.78).
-  double mean_dynamic_events = 0;
-  double mean_added_dynamic_events = 0;
-};
-
-/// Runs the full pipeline of the paper (§V): translate to FT-bar with
-/// worst-case probabilities, generate relevant minimal cutsets with MOCUS,
-/// quantify each cutset on its small product Markov chain (in parallel),
-/// and sum the rare-event approximation.
-analysis_result analyze(const sd_fault_tree& tree,
-                        const analysis_options& options = {});
-
-}  // namespace sdft
+// Compatibility shim: the analysis pipeline moved to the engine layer.
+// analysis_options, analysis_result, cutset_result and analyze() now live
+// in engine/engine.hpp; include that directly in new code.
+#include "engine/engine.hpp"

@@ -1,0 +1,83 @@
+#include "engine/cutset_source.hpp"
+
+#include <algorithm>
+
+#include "bdd/ft_bdd.hpp"
+#include "mcs/mocus.hpp"
+#include "util/error.hpp"
+
+namespace sdft {
+
+namespace {
+
+/// Maps FT-bar cutsets back to original SD-tree indices, sorted.
+std::vector<cutset> map_to_sd(std::vector<cutset> bar_cutsets,
+                              const static_translation& translation) {
+  std::vector<cutset> out;
+  out.reserve(bar_cutsets.size());
+  for (const cutset& c : bar_cutsets) {
+    cutset mapped;
+    mapped.reserve(c.size());
+    for (node_index b : c) mapped.push_back(translation.to_sd.at(b));
+    std::sort(mapped.begin(), mapped.end());
+    out.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(cutset_backend backend) {
+  switch (backend) {
+    case cutset_backend::mocus:
+      return "mocus";
+    case cutset_backend::bdd:
+      return "bdd";
+  }
+  return "?";
+}
+
+cutset_generation mocus_source::generate(const static_translation& translation,
+                                         double cutoff) const {
+  mocus_options opts;
+  opts.cutoff = cutoff;
+  mocus_result mcs = mocus(translation.ft_bar, opts);
+  cutset_generation out;
+  out.partials_processed = mcs.partials_processed;
+  out.discarded = mcs.cutoff_discarded;
+  out.cutsets = map_to_sd(std::move(mcs.cutsets), translation);
+  return out;
+}
+
+cutset_generation bdd_source::generate(const static_translation& translation,
+                                       double cutoff) const {
+  const ft_bdd compiled(translation.ft_bar);
+  std::vector<cutset> kept = compiled.minimal_cutsets();
+  cutset_generation out;
+  out.bdd_nodes = compiled.node_count();
+  // MOCUS keeps partials with probability >= cutoff; applying the same
+  // predicate to the complete cutset list yields an identical selection,
+  // since a cutset's FT-bar product equals its final partial's probability.
+  if (cutoff > 0.0) {
+    const auto below = [&](const cutset& c) {
+      return cutset_probability(translation.ft_bar, c) < cutoff;
+    };
+    const auto it = std::remove_if(kept.begin(), kept.end(), below);
+    out.discarded = static_cast<std::size_t>(kept.end() - it);
+    kept.erase(it, kept.end());
+  }
+  out.cutsets = map_to_sd(std::move(kept), translation);
+  return out;
+}
+
+std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend) {
+  switch (backend) {
+    case cutset_backend::mocus:
+      return std::make_unique<mocus_source>();
+    case cutset_backend::bdd:
+      return std::make_unique<bdd_source>();
+  }
+  throw model_error("unknown cutset backend");
+}
+
+}  // namespace sdft

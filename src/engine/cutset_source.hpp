@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mcs/cutset.hpp"
+#include "sdft/translate.hpp"
+
+namespace sdft {
+
+/// Selects the minimal-cutset generator of the analysis engine.
+enum class cutset_backend {
+  /// Top-down MOCUS expansion on FT-bar with the cutoff pruning partial
+  /// cutsets (paper §IV-B) — the default, scales to industrial models.
+  mocus,
+
+  /// Compile FT-bar to a BDD and enumerate Rauzy minimal solutions, then
+  /// apply the same cutoff to the complete cutset list. Insensitive to
+  /// gate fan-out blowup, used as an independent oracle and for dense
+  /// trees where MOCUS partials explode ("BDDs Strike Back").
+  bdd,
+};
+
+const char* to_string(cutset_backend backend);
+
+/// Output of a cutset source: relevant minimal cutsets mapped back to
+/// original SD-tree indices (each sorted), plus backend counters.
+struct cutset_generation {
+  std::vector<cutset> cutsets;
+
+  std::size_t partials_processed = 0;  ///< MOCUS partials expanded
+  std::size_t discarded = 0;  ///< cutoff-discarded partials (MOCUS) or
+                              ///< complete below-cutoff MCSs (BDD)
+  std::size_t bdd_nodes = 0;  ///< BDD nodes compiled (BDD backend)
+};
+
+/// Stage-2 interface of the engine: generates the relevant minimal
+/// cutsets of a translated SD fault tree. Implementations must agree on
+/// cutoff semantics: a cutset whose FT-bar probability product falls
+/// below `cutoff` is irrelevant (paper eq. (1)); cutoff 0 disables
+/// truncation.
+class cutset_source {
+ public:
+  virtual ~cutset_source() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual cutset_generation generate(const static_translation& translation,
+                                     double cutoff) const = 0;
+};
+
+/// MOCUS on FT-bar (paper §V-B), the seed pipeline's generator.
+class mocus_source final : public cutset_source {
+ public:
+  const char* name() const override { return "mocus"; }
+  cutset_generation generate(const static_translation& translation,
+                             double cutoff) const override;
+};
+
+/// ft_bdd::minimal_cutsets() on FT-bar with post-hoc cutoff filtering.
+class bdd_source final : public cutset_source {
+ public:
+  const char* name() const override { return "bdd"; }
+  cutset_generation generate(const static_translation& translation,
+                             double cutoff) const override;
+};
+
+std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend);
+
+}  // namespace sdft

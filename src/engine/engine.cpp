@@ -1,0 +1,124 @@
+#include "engine/engine.hpp"
+
+#include <utility>
+
+#include "sdft/translate.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sdft {
+
+analysis_engine::analysis_engine(analysis_options options)
+    : options_(std::move(options)) {}
+
+analysis_result analysis_engine::run(const sd_fault_tree& tree) {
+  const stopwatch total_timer;
+  analysis_result result;
+  engine_stats& stats = result.stats;
+  const std::size_t cache_hits_before = cache_.hits();
+  const std::size_t cache_misses_before = cache_.misses();
+
+  // Stage 1: FT-bar with worst-case probabilities (paper §V-B).
+  stopwatch stage_timer;
+  const static_translation translation =
+      translate_to_static(tree, options_.horizon, options_.epsilon,
+                          options_.reference_cutoff);
+  stats.translate_seconds = stage_timer.seconds();
+
+  // Stage 2: relevant minimal cutsets through the selected source.
+  stage_timer.reset();
+  const std::unique_ptr<cutset_source> source =
+      make_cutset_source(options_.backend);
+  stats.backend = source->name();
+  cutset_generation generated = source->generate(translation, options_.cutoff);
+  stats.generate_seconds = stage_timer.seconds();
+  stats.num_cutsets = generated.cutsets.size();
+  stats.source_partials = generated.partials_processed;
+  stats.source_discarded = generated.discarded;
+  stats.bdd_nodes = generated.bdd_nodes;
+
+  // Stage 3: per-cutset quantification, in parallel (paper §V-C).
+  stage_timer.reset();
+  quantify_options qopts;
+  qopts.horizon = options_.horizon;
+  qopts.epsilon = options_.epsilon;
+  qopts.max_product_states = options_.max_product_states;
+  qopts.mode = options_.mode;
+  const static_product_quantifier static_quantifier(tree);
+  const product_chain_quantifier chain_quantifier(
+      tree, translation, qopts,
+      options_.cache_quantifications ? &cache_ : nullptr);
+  std::vector<cutset_result> quantified(generated.cutsets.size());
+  {
+    thread_pool pool(options_.threads);
+    stats.pool_threads = pool.size();
+    parallel_for(pool, generated.cutsets.size(), [&](std::size_t i) {
+      cutset c = std::move(generated.cutsets[i]);
+      const quantifier& q = static_quantifier.handles(c)
+                                ? static_cast<const quantifier&>(static_quantifier)
+                                : chain_quantifier;
+      quantified[i] = q.quantify(std::move(c));
+    });
+  }
+  stats.quantify_seconds = stage_timer.seconds();
+
+  // Stage 4: rare-event sum over relevant cutsets plus statistics.
+  stage_timer.reset();
+  std::size_t dynamic_events_total = 0;
+  std::size_t added_dynamic_total = 0;
+  for (auto& q : quantified) {
+    if (options_.cutoff > 0.0 && q.probability <= options_.cutoff) continue;
+    result.failure_probability += q.probability;
+  }
+  for (auto& q : quantified) {
+    if (!q.error.empty()) ++stats.failed_quantifications;
+    if (!q.dynamic) {
+      ++stats.static_cutsets;
+      continue;
+    }
+    ++stats.dynamic_cutsets;
+    ++result.num_dynamic_cutsets;
+    const std::size_t events = q.num_dynamic + q.num_added_dynamic;
+    if (result.dynamic_events_histogram.size() <= events) {
+      result.dynamic_events_histogram.resize(events + 1, 0);
+    }
+    ++result.dynamic_events_histogram[events];
+    dynamic_events_total += events;
+    added_dynamic_total += q.num_added_dynamic;
+  }
+  if (result.num_dynamic_cutsets > 0) {
+    result.mean_dynamic_events =
+        static_cast<double>(dynamic_events_total) /
+        static_cast<double>(result.num_dynamic_cutsets);
+    result.mean_added_dynamic_events =
+        static_cast<double>(added_dynamic_total) /
+        static_cast<double>(result.num_dynamic_cutsets);
+  }
+  if (options_.keep_cutset_details) {
+    result.cutsets = std::move(quantified);
+  }
+  stats.sum_seconds = stage_timer.seconds();
+
+  stats.cache_hits = cache_.hits() - cache_hits_before;
+  stats.cache_misses = cache_.misses() - cache_misses_before;
+  stats.cache_entries = cache_.size();
+  stats.total_seconds = total_timer.seconds();
+
+  // Legacy mirrors of the per-stage instrumentation.
+  result.num_cutsets = stats.num_cutsets;
+  result.translate_seconds = stats.translate_seconds;
+  result.mcs_seconds = stats.generate_seconds;
+  result.quantify_seconds = stats.quantify_seconds;
+  result.total_seconds = stats.total_seconds;
+  result.mocus_partials = stats.source_partials;
+  result.mocus_discarded = stats.source_discarded;
+  return result;
+}
+
+analysis_result analyze(const sd_fault_tree& tree,
+                        const analysis_options& options) {
+  analysis_engine engine(options);
+  return engine.run(tree);
+}
+
+}  // namespace sdft

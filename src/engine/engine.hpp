@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mcs_model.hpp"
+#include "engine/cutset_source.hpp"
+#include "engine/engine_stats.hpp"
+#include "engine/quant_cache.hpp"
+#include "engine/quantifier.hpp"
+#include "mcs/cutset.hpp"
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+
+/// Options of the SD fault tree analysis pipeline (paper §V).
+struct analysis_options {
+  /// Mission time / analysis horizon t in hours (paper uses 24h..96h).
+  double horizon = 24.0;
+
+  /// Relevance cutoff c* applied both while generating minimal cutsets on
+  /// FT-bar (conservative, paper eq. (1)) and when summing quantified
+  /// cutsets. 0 disables truncation.
+  double cutoff = 0.0;
+
+  /// Numerical accuracy of the transient analyses.
+  double epsilon = 1e-10;
+
+  /// Worker threads for per-cutset quantification; 0 = hardware threads.
+  /// Cutset quantifications are independent (paper §VI concluding remark).
+  std::size_t threads = 0;
+
+  /// Trigger modelling mode (exact per classification, or the paper's
+  /// §VIII approximation variants).
+  approx_mode mode = approx_mode::as_classified;
+
+  /// Per-cutset product chain size cap; larger cutsets are reported as
+  /// failed quantifications with their conservative FT-bar probability.
+  std::size_t max_product_states = 2'000'000;
+
+  /// Retain the per-cutset breakdown in the result (disable to save memory
+  /// on very large runs).
+  bool keep_cutset_details = true;
+
+  /// Use the dynamic events' reference static probabilities (when set)
+  /// instead of their worst-case probabilities while generating cutsets on
+  /// FT-bar — the paper's "static cutoff" (§VI), which keeps the cutset
+  /// list independent of the dynamic models.
+  bool reference_cutoff = false;
+
+  /// Minimal-cutset generator for stage 2 (see cutset_backend).
+  cutset_backend backend = cutset_backend::mocus;
+
+  /// Memoise per-cutset transient solves under the structural signature of
+  /// their mcs_model, so cutsets sharing dynamic sub-structure reuse the
+  /// solve and only multiply their static factors.
+  bool cache_quantifications = true;
+};
+
+/// Result of the full SD analysis.
+struct analysis_result {
+  /// Rare-event approximation over relevant cutsets (paper §V, p_rea).
+  double failure_probability = 0;
+
+  std::size_t num_cutsets = 0;          ///< relevant MCSs found on FT-bar
+  std::size_t num_dynamic_cutsets = 0;  ///< MCSs quantified dynamically
+
+  double translate_seconds = 0;  ///< FT-bar construction + worst-case p(a)
+  double mcs_seconds = 0;        ///< cutset generation on FT-bar
+  double quantify_seconds = 0;   ///< summed wall time of the pipeline stage
+  double total_seconds = 0;
+
+  std::size_t mocus_partials = 0;
+  std::size_t mocus_discarded = 0;
+
+  /// Per-cutset details (empty if keep_cutset_details is false).
+  std::vector<cutset_result> cutsets;
+
+  /// Histogram over the number of dynamic events per *dynamic* cutset,
+  /// counting both cutset events and events added by trigger modelling —
+  /// the quantity behind the paper's Figure 2. Index = count.
+  std::vector<std::size_t> dynamic_events_histogram;
+
+  /// Mean dynamic events per dynamic cutset, and the mean number of those
+  /// that were added by triggering (paper §VI-A reports 3.02 / 1.78).
+  double mean_dynamic_events = 0;
+  double mean_added_dynamic_events = 0;
+
+  /// Per-stage instrumentation (backend counters, cache behaviour, pool
+  /// occupancy); the timing fields above mirror its per-stage times.
+  engine_stats stats;
+};
+
+/// The staged analysis pipeline of the paper (§V) behind analyze(), with
+/// pluggable stage implementations: translate to FT-bar, generate relevant
+/// minimal cutsets through the selected cutset_source, quantify every
+/// cutset in parallel through the quantifier implementations (with the
+/// memoising quantification cache), and sum the rare-event approximation.
+///
+/// The engine owns its quantification cache, which persists across run()
+/// calls: repeated analyses of models sharing dynamic sub-structure (e.g.
+/// a growing fleet of similar trains) reuse each other's transient solves.
+/// Keys encode horizon and accuracy, so runs with different options never
+/// alias.
+class analysis_engine {
+ public:
+  explicit analysis_engine(analysis_options options = {});
+
+  const analysis_options& options() const { return options_; }
+
+  /// Runs the full pipeline. Thread-safe with respect to the cache; do
+  /// not share one engine across concurrent run() calls on different
+  /// trees unless the trees outlive both runs.
+  analysis_result run(const sd_fault_tree& tree);
+
+  /// The memoisation cache (for inspection and explicit clear()).
+  quantification_cache& cache() { return cache_; }
+  const quantification_cache& cache() const { return cache_; }
+
+ private:
+  analysis_options options_;
+  quantification_cache cache_;
+};
+
+/// Compatibility wrapper over analysis_engine: runs the full pipeline of
+/// the paper (§V) with a fresh engine (and thus a fresh cache).
+analysis_result analyze(const sd_fault_tree& tree,
+                        const analysis_options& options = {});
+
+}  // namespace sdft

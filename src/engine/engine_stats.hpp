@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sdft {
+
+/// Instrumentation of one analysis_engine run: per-stage wall times,
+/// backend counters and quantification-cache behaviour. Carried inside
+/// analysis_result and printed by `sdft analyze --stats`.
+struct engine_stats {
+  /// Name of the cutset source used ("mocus" or "bdd").
+  std::string backend;
+
+  // Per-stage wall times (seconds).
+  double translate_seconds = 0;  ///< FT-bar construction + worst-case p(a)
+  double generate_seconds = 0;   ///< minimal-cutset generation
+  double quantify_seconds = 0;   ///< parallel per-cutset quantification
+  double sum_seconds = 0;        ///< rare-event sum + statistics
+  double total_seconds = 0;
+
+  // Cutset-source counters.
+  std::size_t num_cutsets = 0;       ///< relevant MCSs handed to stage 3
+  std::size_t source_partials = 0;   ///< MOCUS partial cutsets expanded
+  std::size_t source_discarded = 0;  ///< cutoff-discarded partials / MCSs
+  std::size_t bdd_nodes = 0;         ///< BDD nodes compiled (bdd backend)
+
+  // Quantifier counters.
+  std::size_t static_cutsets = 0;    ///< quantified as probability products
+  std::size_t dynamic_cutsets = 0;   ///< quantified via a product chain
+  std::size_t failed_quantifications = 0;  ///< conservative fallbacks
+
+  // Quantification-cache counters (this run only).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_entries = 0;  ///< entries held after the run
+
+  /// Worker threads of the quantification pool.
+  std::size_t pool_threads = 0;
+
+  /// Hits / (hits + misses); 0 when no dynamic cutset was quantified.
+  double cache_hit_rate() const {
+    const std::size_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+}  // namespace sdft

@@ -1,0 +1,114 @@
+#include "engine/quant_cache.hpp"
+
+#include <cstring>
+#include <variant>
+
+namespace sdft {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void put_f64(std::string& out, double v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void put_chain(std::string& out, const ctmc& chain) {
+  put_u32(out, static_cast<std::uint32_t>(chain.num_states()));
+  for (state_index s = 0; s < chain.num_states(); ++s) {
+    put_f64(out, chain.initial(s));
+    out.push_back(chain.failed(s) ? 'F' : '.');
+    const auto& row = chain.transitions_from(s);
+    put_u32(out, static_cast<std::uint32_t>(row.size()));
+    for (const auto& [target, rate] : row) {
+      put_u32(out, target);
+      put_f64(out, rate);
+    }
+  }
+}
+
+void put_dynamic_model(std::string& out, const dynamic_model& model) {
+  if (const auto* plain = std::get_if<ctmc>(&model)) {
+    out.push_back('C');
+    put_chain(out, *plain);
+    return;
+  }
+  const auto& triggered = std::get<triggered_ctmc>(model);
+  out.push_back('T');
+  put_chain(out, triggered.chain);
+  for (char on : triggered.on_state) out.push_back(on ? '1' : '0');
+  for (state_index s : triggered.to_on) put_u32(out, s);
+  for (state_index s : triggered.to_off) put_u32(out, s);
+}
+
+}  // namespace
+
+std::string mcs_model_signature(const mcs_model& model, double horizon,
+                                double epsilon) {
+  const sd_fault_tree& tree = model.tree;
+  const fault_tree& ft = tree.structure();
+  std::string out;
+  out.reserve(256);
+  put_f64(out, horizon);
+  put_f64(out, epsilon);
+  put_u32(out, static_cast<std::uint32_t>(ft.size()));
+  put_u32(out, ft.top());
+  // FT_C construction is deterministic, so serialising nodes in index
+  // order is canonical for the cache's purpose: equal construction yields
+  // equal bytes. (Permuted-but-isomorphic trees may get distinct keys —
+  // that only costs a duplicate solve, never a wrong reuse.)
+  for (node_index n = 0; n < ft.size(); ++n) {
+    const ft_node& node = ft.node(n);
+    if (node.kind == node_kind::gate) {
+      out.push_back(node.type == gate_type::and_gate ? 'A' : 'O');
+      put_u32(out, static_cast<std::uint32_t>(node.inputs.size()));
+      for (node_index input : node.inputs) put_u32(out, input);
+      continue;
+    }
+    if (tree.is_dynamic(n)) {
+      put_dynamic_model(out, tree.model_of(n));
+      put_u32(out, tree.trigger_gate_of(n));
+    } else {
+      out.push_back('S');
+      put_f64(out, node.probability);
+    }
+  }
+  return out;
+}
+
+std::optional<quantification_cache::entry> quantification_cache::find(
+    const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void quantification_cache::store(const std::string& key, const entry& e) {
+  std::lock_guard lock(mutex_);
+  map_.emplace(key, e);
+}
+
+std::size_t quantification_cache::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+void quantification_cache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sdft

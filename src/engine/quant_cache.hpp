@@ -1,0 +1,63 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/mcs_model.hpp"
+
+namespace sdft {
+
+/// Structural signature of the transient solve an mcs_model induces: the
+/// full FT_C structure (gate types and wiring), the numeric content of
+/// every basic event (static probability, or the complete CTMC /
+/// triggered-CTMC definition), the trigger edges, and the solver inputs
+/// (horizon, epsilon). Everything that determines the product-chain
+/// probability is encoded byte-exactly; names and the static_factor are
+/// deliberately excluded, so cutsets that share dynamic sub-structure but
+/// differ in their static events map to the same key.
+std::string mcs_model_signature(const mcs_model& model, double horizon,
+                                double epsilon);
+
+/// Thread-safe memoisation of product-chain transient solves, keyed by
+/// mcs_model_signature(). Stores the *chain* failure probability (before
+/// the static factor is multiplied back in), so structurally identical
+/// dynamic parts are solved once per engine lifetime.
+///
+/// Keys are compared as full strings — hash collisions cannot produce
+/// wrong probabilities. Only successful solves are stored; fallbacks
+/// (e.g. product-size overflows) are re-attempted.
+class quantification_cache {
+ public:
+  struct entry {
+    double chain_probability = 0;  ///< Pr[Reach<=t(Failed)] of the chain
+    std::size_t chain_states = 0;  ///< product chain size
+  };
+
+  /// Returns the cached solve, counting a hit/miss.
+  std::optional<entry> find(const std::string& key) const;
+
+  /// Inserts a solve (first writer wins; duplicates from concurrent
+  /// misses are benign since they carry the same value).
+  void store(const std::string& key, const entry& e);
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+  /// Drops all entries and resets the counters.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, entry> map_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace sdft

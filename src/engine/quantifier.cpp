@@ -1,0 +1,88 @@
+#include "engine/quantifier.hpp"
+
+#include "ctmc/transient.hpp"
+#include "product/product_ctmc.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sdft {
+
+bool static_product_quantifier::handles(const cutset& c) const {
+  for (node_index b : c) {
+    if (tree_.is_dynamic(b)) return false;
+  }
+  return true;
+}
+
+cutset_result static_product_quantifier::quantify(cutset c) const {
+  const stopwatch timer;
+  cutset_result out;
+  out.events = std::move(c);
+  double p = 1.0;
+  for (node_index b : out.events) {
+    p *= tree_.structure().node(b).probability;
+  }
+  out.probability = p;
+  out.seconds = timer.seconds();
+  return out;
+}
+
+bool product_chain_quantifier::handles(const cutset& c) const {
+  for (node_index b : c) {
+    if (tree_.is_dynamic(b)) return true;
+  }
+  return false;
+}
+
+cutset_result product_chain_quantifier::quantify(cutset c) const {
+  const stopwatch timer;
+  cutset_result out;
+  out.events = std::move(c);
+  out.dynamic = true;
+  try {
+    const mcs_model model = build_mcs_model(tree_, out.events, options_.mode);
+    out.num_dynamic = model.cutset_dynamic.size();
+    out.num_added_dynamic = model.added_dynamic.size();
+
+    std::string key;
+    if (cache_ != nullptr) {
+      key = mcs_model_signature(model, options_.horizon, options_.epsilon);
+      if (const auto cached = cache_->find(key)) {
+        out.cache_hit = true;
+        out.chain_states = cached->chain_states;
+        out.probability = cached->chain_probability * model.static_factor;
+        out.seconds = timer.seconds();
+        return out;
+      }
+    }
+
+    product_options popts;
+    popts.max_states = options_.max_product_states;
+    const product_ctmc product = build_product_ctmc(model.tree, popts);
+    out.chain_states = product.num_states();
+    const double chain_probability =
+        reach_failed_probability(product.chain, options_.horizon,
+                                 options_.epsilon);
+    if (cache_ != nullptr) {
+      cache_->store(key, {chain_probability, out.chain_states});
+    }
+    out.probability = chain_probability * model.static_factor;
+  } catch (const error& e) {
+    // Conservative fallback: the FT-bar product of worst-case
+    // probabilities bounds p-tilde(C) from above (paper eq. (1)).
+    out.error = e.what();
+    double p = 1.0;
+    for (node_index b : out.events) {
+      if (tree_.is_dynamic(b)) {
+        p *= translation_.worst_case.at(b);
+      } else {
+        p *= tree_.structure().node(b).probability;
+      }
+    }
+    out.probability = p;
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace sdft

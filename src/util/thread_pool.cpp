@@ -35,6 +35,12 @@ void thread_pool::submit(std::function<void()> job) {
 void thread_pool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = nullptr;
+    std::swap(e, first_exception_);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void thread_pool::worker_loop() {
@@ -49,7 +55,12 @@ void thread_pool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    job();
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -13,10 +14,11 @@ namespace sdft {
 /// Fixed-size thread pool used to quantify minimal cutsets in parallel.
 ///
 /// Deliberately minimal: submit() enqueues void() jobs, wait_idle() blocks
-/// until every submitted job has finished. Exceptions escaping a job
-/// terminate the process (jobs are expected to capture and report their own
-/// failures), matching the pipeline's use where a failing quantification is
-/// recorded in the per-MCS result instead of thrown.
+/// until every submitted job has finished. An exception escaping a job is
+/// captured (first one wins; later ones are dropped) and rethrown from the
+/// next wait_idle(), after every remaining job has run — the pool keeps
+/// draining, so no submitted work is silently skipped. An exception never
+/// claimed by wait_idle() is discarded by the destructor.
 class thread_pool {
  public:
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -30,7 +32,9 @@ class thread_pool {
   /// Enqueues a job for asynchronous execution.
   void submit(std::function<void()> job);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first exception that escaped a job since the last
+  /// wait_idle() (clearing it, so the pool stays usable).
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
@@ -45,11 +49,13 @@ class thread_pool {
   std::condition_variable all_idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_exception_;
 };
 
 /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
 /// With an empty pool (threads == 0 resolved to 1 worker) this still works;
-/// for n == 0 it returns immediately.
+/// for n == 0 it returns immediately. If `fn` throws for some index, every
+/// index still runs and the first exception is rethrown afterwards.
 void parallel_for(thread_pool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

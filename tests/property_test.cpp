@@ -180,6 +180,31 @@ TEST_P(RandomSdTrees, ApproximationModesBracketClassified) {
   EXPECT_GE(over, classified - 1e-12) << "seed " << GetParam();
 }
 
+TEST_P(RandomSdTrees, BackendsAgreeOnCutsetsAndProbability) {
+  // The MOCUS and BDD cutset sources must produce the same relevant
+  // minimal cutsets and, through the engine, the same rare-event sum.
+  const random_sd_tree r =
+      make_random_sd_tree(0x5d + static_cast<std::uint64_t>(GetParam()));
+  analysis_options opts;
+  opts.horizon = 12.0;
+  opts.backend = cutset_backend::mocus;
+  const analysis_result via_mocus = analyze(r.tree, opts);
+  opts.backend = cutset_backend::bdd;
+  const analysis_result via_bdd = analyze(r.tree, opts);
+  EXPECT_EQ(via_mocus.num_cutsets, via_bdd.num_cutsets)
+      << "seed " << GetParam();
+  auto events = [](const analysis_result& result) {
+    std::vector<cutset> out;
+    for (const auto& q : result.cutsets) out.push_back(q.events);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(events(via_mocus), events(via_bdd)) << "seed " << GetParam();
+  EXPECT_NEAR(via_mocus.failure_probability, via_bdd.failure_probability,
+              1e-12)
+      << "seed " << GetParam();
+}
+
 TEST_P(RandomSdTrees, HorizonMonotonicity) {
   const random_sd_tree r =
       make_random_sd_tree(0x111 + static_cast<std::uint64_t>(GetParam()));

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/error.hpp"
@@ -171,6 +172,50 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
 TEST(ThreadPool, ParallelForEmptyIsNoop) {
   thread_pool pool(2);
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstJobException) {
+  thread_pool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 5 == 0) throw std::runtime_error("job failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Every job ran despite the failures — the pool drains, it doesn't stop.
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, UsableAfterRethrow) {
+  thread_pool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The exception was claimed; the pool accepts and runs new jobs.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&count] { count.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, UnclaimedExceptionDoesNotTerminate) {
+  // An exception never collected by wait_idle() must be dropped by the
+  // destructor, not terminate the process.
+  thread_pool pool(1);
+  pool.submit([] { throw std::runtime_error("dropped"); });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  thread_pool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(parallel_for(pool, hits.size(),
+                            [&hits](std::size_t i) {
+                              hits[i].fetch_add(1);
+                              if (i == 7) throw std::runtime_error("index 7");
+                            }),
+               std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(TextTable, AlignsColumnsAndRejectsBadRows) {

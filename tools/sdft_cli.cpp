@@ -10,7 +10,10 @@
 //
 // Options: --horizon H (hours, default 24), --cutoff C (default 0),
 //          --threads N, --mode exact|under|over, --top K (rows to print),
-//          --details (per-cutset breakdown).
+//          --details (per-cutset breakdown),
+//          --backend mocus|bdd (cutset source), --no-cache,
+//          --stats (engine instrumentation: stage times, backend
+//          counters, quantification-cache hits/misses, pool occupancy).
 //
 // Files use the SD fault tree text format (sdft/parser.hpp); purely static
 // models are ordinary SD files without dyn/trigger lines.
@@ -25,7 +28,7 @@
 #include <vector>
 
 #include "bdd/ft_bdd.hpp"
-#include "core/analyzer.hpp"
+#include "engine/engine.hpp"
 #include "core/risk_measures.hpp"
 #include "ft/modules.hpp"
 #include "mcs/importance.hpp"
@@ -52,6 +55,9 @@ struct cli_options {
   approx_mode mode = approx_mode::as_classified;
   std::size_t top = 20;
   bool details = false;
+  bool stats = false;
+  cutset_backend backend = cutset_backend::mocus;
+  bool cache = true;
   std::size_t runs = 100'000;
   std::uint64_t seed = 1;
 };
@@ -62,7 +68,8 @@ struct cli_options {
       "usage: sdft <static|simulate|export|import|mcs|analyze|exact|importance|classify|convert> "
       "<file>\n"
       "            [--horizon H] [--cutoff C] [--threads N]\n"
-      "            [--mode exact|under|over] [--top K] [--details]\n");
+      "            [--mode exact|under|over] [--top K] [--details]\n"
+      "            [--backend mocus|bdd] [--no-cache] [--stats]\n");
   std::exit(2);
 }
 
@@ -87,6 +94,19 @@ cli_options parse_args(int argc, char** argv) {
       opt.top = std::stoul(next());
     } else if (arg == "--details") {
       opt.details = true;
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--no-cache") {
+      opt.cache = false;
+    } else if (arg == "--backend") {
+      const std::string backend = next();
+      if (backend == "mocus") {
+        opt.backend = cutset_backend::mocus;
+      } else if (backend == "bdd") {
+        opt.backend = cutset_backend::bdd;
+      } else {
+        usage();
+      }
     } else if (arg == "--runs") {
       opt.runs = std::stoul(next());
     } else if (arg == "--seed") {
@@ -170,6 +190,37 @@ int cmd_mcs(const cli_options& opt) {
   return 0;
 }
 
+void print_engine_stats(const engine_stats& s) {
+  text_table table({"stage / counter", "value"});
+  table.add_row({"backend", s.backend});
+  table.add_row({"translate", duration_str(s.translate_seconds)});
+  table.add_row({"generate cutsets", duration_str(s.generate_seconds)});
+  table.add_row({"quantify", duration_str(s.quantify_seconds)});
+  table.add_row({"sum + statistics", duration_str(s.sum_seconds)});
+  table.add_row({"total", duration_str(s.total_seconds)});
+  table.add_row({"cutsets", std::to_string(s.num_cutsets) + " (" +
+                                std::to_string(s.dynamic_cutsets) +
+                                " dynamic, " +
+                                std::to_string(s.static_cutsets) +
+                                " static)"});
+  if (s.backend == "bdd") {
+    table.add_row({"bdd nodes", std::to_string(s.bdd_nodes)});
+  } else {
+    table.add_row({"mocus partials", std::to_string(s.source_partials)});
+  }
+  table.add_row({"cutoff discarded", std::to_string(s.source_discarded)});
+  table.add_row(
+      {"failed quantifications", std::to_string(s.failed_quantifications)});
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%.1f%%", 100.0 * s.cache_hit_rate());
+  table.add_row({"cache hits / misses", std::to_string(s.cache_hits) + " / " +
+                                            std::to_string(s.cache_misses) +
+                                            " (" + rate + " hit rate)"});
+  table.add_row({"cache entries", std::to_string(s.cache_entries)});
+  table.add_row({"pool threads", std::to_string(s.pool_threads)});
+  std::printf("%s", table.str().c_str());
+}
+
 int cmd_analyze(const cli_options& opt) {
   const sd_fault_tree tree = load(opt.file);
   analysis_options aopts;
@@ -177,7 +228,10 @@ int cmd_analyze(const cli_options& opt) {
   aopts.cutoff = opt.cutoff;
   aopts.threads = opt.threads;
   aopts.mode = opt.mode;
-  const analysis_result result = analyze(tree, aopts);
+  aopts.backend = opt.backend;
+  aopts.cache_quantifications = opt.cache;
+  analysis_engine engine(aopts);
+  const analysis_result result = engine.run(tree);
   std::printf("failure probability (p_rea): %s  [horizon %gh]\n",
               sci(result.failure_probability).c_str(), opt.horizon);
   std::printf("cutsets: %zu (%zu dynamic), mean dyn events %.2f (%.2f added)\n",
@@ -186,6 +240,7 @@ int cmd_analyze(const cli_options& opt) {
   std::printf("times: translate %.2fs, MCS %.2fs, quantify %.2fs\n",
               result.translate_seconds, result.mcs_seconds,
               result.quantify_seconds);
+  if (opt.stats) print_engine_stats(result.stats);
   if (opt.details) {
     auto sorted = result.cutsets;
     std::sort(sorted.begin(), sorted.end(),
