@@ -5,23 +5,43 @@
 #include "bdd/ft_bdd.hpp"
 #include "mcs/mocus.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sdft {
 
 namespace {
 
-/// Maps FT-bar cutsets back to original SD-tree indices, sorted.
+/// Jobs below this size are not worth fanning out.
+constexpr std::size_t parallel_grain = 2048;
+
+/// Canonical list order in SD index space: by (size, content). Both
+/// backends funnel through this, so stage 3 always sees the identical
+/// cutset sequence regardless of backend or thread count.
+void sort_canonically(std::vector<cutset>& sets) {
+  std::sort(sets.begin(), sets.end(), [](const cutset& a, const cutset& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  });
+}
+
+/// Maps FT-bar cutsets back to original SD-tree indices (each sorted),
+/// then sorts the list canonically.
 std::vector<cutset> map_to_sd(std::vector<cutset> bar_cutsets,
-                              const static_translation& translation) {
-  std::vector<cutset> out;
-  out.reserve(bar_cutsets.size());
-  for (const cutset& c : bar_cutsets) {
+                              const static_translation& translation,
+                              thread_pool* pool) {
+  std::vector<cutset> out(bar_cutsets.size());
+  const auto map_one = [&](std::size_t i) {
     cutset mapped;
-    mapped.reserve(c.size());
-    for (node_index b : c) mapped.push_back(translation.to_sd.at(b));
+    mapped.reserve(bar_cutsets[i].size());
+    for (node_index b : bar_cutsets[i]) mapped.push_back(translation.to_sd.at(b));
     std::sort(mapped.begin(), mapped.end());
-    out.push_back(std::move(mapped));
+    out[i] = std::move(mapped);
+  };
+  if (pool != nullptr && pool->size() > 1 && out.size() >= parallel_grain) {
+    parallel_for(*pool, out.size(), map_one);
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i) map_one(i);
   }
+  sort_canonically(out);
   return out;
 }
 
@@ -38,19 +58,22 @@ const char* to_string(cutset_backend backend) {
 }
 
 cutset_generation mocus_source::generate(const static_translation& translation,
-                                         double cutoff) const {
+                                         double cutoff,
+                                         thread_pool* pool) const {
   mocus_options opts;
   opts.cutoff = cutoff;
+  opts.pool = pool;
   mocus_result mcs = mocus(translation.ft_bar, opts);
   cutset_generation out;
   out.partials_processed = mcs.partials_processed;
   out.discarded = mcs.cutoff_discarded;
-  out.cutsets = map_to_sd(std::move(mcs.cutsets), translation);
+  out.cutsets = map_to_sd(std::move(mcs.cutsets), translation, pool);
   return out;
 }
 
 cutset_generation bdd_source::generate(const static_translation& translation,
-                                       double cutoff) const {
+                                       double cutoff,
+                                       thread_pool* pool) const {
   const ft_bdd compiled(translation.ft_bar);
   std::vector<cutset> kept = compiled.minimal_cutsets();
   cutset_generation out;
@@ -62,11 +85,27 @@ cutset_generation bdd_source::generate(const static_translation& translation,
     const auto below = [&](const cutset& c) {
       return cutset_probability(translation.ft_bar, c) < cutoff;
     };
-    const auto it = std::remove_if(kept.begin(), kept.end(), below);
-    out.discarded = static_cast<std::size_t>(kept.end() - it);
-    kept.erase(it, kept.end());
+    if (pool != nullptr && pool->size() > 1 && kept.size() >= parallel_grain) {
+      // Evaluate the predicate in parallel, then compact in index order so
+      // the surviving sequence matches the serial path exactly.
+      std::vector<char> drop(kept.size(), 0);
+      parallel_for(*pool, kept.size(),
+                   [&](std::size_t i) { drop[i] = below(kept[i]) ? 1 : 0; });
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        if (drop[i]) continue;
+        if (next != i) kept[next] = std::move(kept[i]);
+        ++next;
+      }
+      out.discarded = kept.size() - next;
+      kept.resize(next);
+    } else {
+      const auto it = std::remove_if(kept.begin(), kept.end(), below);
+      out.discarded = static_cast<std::size_t>(kept.end() - it);
+      kept.erase(it, kept.end());
+    }
   }
-  out.cutsets = map_to_sd(std::move(kept), translation);
+  out.cutsets = map_to_sd(std::move(kept), translation, pool);
   return out;
 }
 

@@ -9,6 +9,8 @@
 
 namespace sdft {
 
+class thread_pool;
+
 /// Selects the minimal-cutset generator of the analysis engine.
 enum class cutset_backend {
   /// Top-down MOCUS expansion on FT-bar with the cutoff pruning partial
@@ -25,7 +27,11 @@ enum class cutset_backend {
 const char* to_string(cutset_backend backend);
 
 /// Output of a cutset source: relevant minimal cutsets mapped back to
-/// original SD-tree indices (each sorted), plus backend counters.
+/// original SD-tree indices, plus backend counters. The cutset list is
+/// canonical — each cutset sorted, the list ordered by (size, content) in
+/// SD index space — so every backend and every thread count hands stage 3
+/// the identical sequence (and the stage-4 sum runs in the identical
+/// order, making the failure probability bit-reproducible).
 struct cutset_generation {
   std::vector<cutset> cutsets;
 
@@ -40,6 +46,10 @@ struct cutset_generation {
 /// cutoff semantics: a cutset whose FT-bar probability product falls
 /// below `cutoff` is irrelevant (paper eq. (1)); cutoff 0 disables
 /// truncation.
+///
+/// `pool` is the engine's worker pool; implementations fan their
+/// parallelisable parts out over it. nullptr runs single-threaded. The
+/// produced cutset list must be identical either way.
 class cutset_source {
  public:
   virtual ~cutset_source() = default;
@@ -47,23 +57,27 @@ class cutset_source {
   virtual const char* name() const = 0;
 
   virtual cutset_generation generate(const static_translation& translation,
-                                     double cutoff) const = 0;
+                                     double cutoff,
+                                     thread_pool* pool) const = 0;
 };
 
-/// MOCUS on FT-bar (paper §V-B), the seed pipeline's generator.
+/// MOCUS on FT-bar (paper §V-B), the seed pipeline's generator. With a
+/// pool, partial-cutset expansion runs on the work-stealing frontier.
 class mocus_source final : public cutset_source {
  public:
   const char* name() const override { return "mocus"; }
   cutset_generation generate(const static_translation& translation,
-                             double cutoff) const override;
+                             double cutoff, thread_pool* pool) const override;
 };
 
 /// ft_bdd::minimal_cutsets() on FT-bar with post-hoc cutoff filtering.
+/// With a pool, the per-cutset cutoff evaluation of the minimal solutions
+/// (and the SD-index mapping) fans out; BDD compilation stays serial.
 class bdd_source final : public cutset_source {
  public:
   const char* name() const override { return "bdd"; }
   cutset_generation generate(const static_translation& translation,
-                             double cutoff) const override;
+                             double cutoff, thread_pool* pool) const override;
 };
 
 std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend);

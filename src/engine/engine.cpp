@@ -25,17 +25,28 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
                           options_.reference_cutoff);
   stats.translate_seconds = stage_timer.seconds();
 
+  // One pool serves stage 2 (cutset generation) and stage 3
+  // (quantification); counter snapshots attribute activity per stage.
+  thread_pool pool(options_.threads);
+
   // Stage 2: relevant minimal cutsets through the selected source.
   stage_timer.reset();
   const std::unique_ptr<cutset_source> source =
       make_cutset_source(options_.backend);
   stats.backend = source->name();
-  cutset_generation generated = source->generate(translation, options_.cutoff);
+  const pool_counters before_generate = pool.counters();
+  cutset_generation generated =
+      source->generate(translation, options_.cutoff, &pool);
+  const pool_counters after_generate = pool.counters();
   stats.generate_seconds = stage_timer.seconds();
   stats.num_cutsets = generated.cutsets.size();
   stats.source_partials = generated.partials_processed;
   stats.source_discarded = generated.discarded;
   stats.bdd_nodes = generated.bdd_nodes;
+  stats.mocus_threads = pool.size();
+  stats.mocus_tasks = after_generate.submitted - before_generate.submitted;
+  stats.mocus_steals = after_generate.stolen - before_generate.stolen;
+  stats.mocus_occupancy = after_generate.occupancy_since(before_generate);
 
   // Stage 3: per-cutset quantification, in parallel (paper §V-C).
   stage_timer.reset();
@@ -49,17 +60,14 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
       tree, translation, qopts,
       options_.cache_quantifications ? &cache_ : nullptr);
   std::vector<cutset_result> quantified(generated.cutsets.size());
-  {
-    thread_pool pool(options_.threads);
-    stats.pool_threads = pool.size();
-    parallel_for(pool, generated.cutsets.size(), [&](std::size_t i) {
-      cutset c = std::move(generated.cutsets[i]);
-      const quantifier& q = static_quantifier.handles(c)
-                                ? static_cast<const quantifier&>(static_quantifier)
-                                : chain_quantifier;
-      quantified[i] = q.quantify(std::move(c));
-    });
-  }
+  stats.pool_threads = pool.size();
+  parallel_for(pool, generated.cutsets.size(), [&](std::size_t i) {
+    cutset c = std::move(generated.cutsets[i]);
+    const quantifier& q = static_quantifier.handles(c)
+                              ? static_cast<const quantifier&>(static_quantifier)
+                              : chain_quantifier;
+    quantified[i] = q.quantify(std::move(c));
+  });
   stats.quantify_seconds = stage_timer.seconds();
 
   // Stage 4: rare-event sum over relevant cutsets plus statistics.

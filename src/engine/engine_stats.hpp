@@ -38,6 +38,13 @@ struct engine_stats {
   /// Worker threads of the quantification pool.
   std::size_t pool_threads = 0;
 
+  // Parallel cutset-generation (stage 2) counters. The same pool serves
+  // stages 2 and 3; these snapshot its activity during generation only.
+  std::size_t mocus_threads = 0;  ///< workers available to stage 2
+  std::size_t mocus_tasks = 0;    ///< jobs submitted during generation
+  std::size_t mocus_steals = 0;   ///< jobs taken off another worker's deque
+  double mocus_occupancy = 0;     ///< sum(executed) / (workers * max(executed))
+
   /// Hits / (hits + misses); 0 when no dynamic cutset was quantified.
   double cache_hit_rate() const {
     const std::size_t lookups = cache_hits + cache_misses;

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "ft/voting.hpp"
 #include "util/error.hpp"
@@ -32,20 +33,31 @@ double parse_float_value(const xml_node& define_be) {
 }
 
 /// Recursively collects definitions from opsa-mef, define-fault-tree and
-/// model-data containers.
+/// model-data containers. Basic events keep their document order (the
+/// last definition of a name wins) so node numbering — and thus the
+/// written form — is a pure function of the document.
 void collect(const xml_node& node,
              std::vector<gate_definition>& gates,
-             std::unordered_map<std::string, double>& probabilities) {
+             std::vector<std::pair<std::string, double>>& probabilities,
+             std::unordered_map<std::string, std::size_t>& probability_index) {
   for (const auto& child : node.children) {
     if (child.tag == "define-fault-tree" || child.tag == "model-data") {
-      collect(child, gates, probabilities);
+      collect(child, gates, probabilities, probability_index);
     } else if (child.tag == "define-gate") {
       require_model(child.children.size() == 1,
                     "openpsa: define-gate '" + child.attribute("name") +
                         "' must contain exactly one formula");
       gates.push_back({child.attribute("name"), &child.children.front()});
     } else if (child.tag == "define-basic-event") {
-      probabilities[child.attribute("name")] = parse_float_value(child);
+      const std::string name = child.attribute("name");
+      const double p = parse_float_value(child);
+      const auto [it, fresh] =
+          probability_index.emplace(name, probabilities.size());
+      if (fresh) {
+        probabilities.emplace_back(name, p);
+      } else {
+        probabilities[it->second].second = p;
+      }
     } else if (child.tag == "label" || child.tag == "attributes") {
       continue;  // harmless metadata
     } else {
@@ -77,8 +89,9 @@ fault_tree parse_openpsa(const std::string& xml_text) {
                 "openpsa: root element must be <opsa-mef>");
 
   std::vector<gate_definition> gates;
-  std::unordered_map<std::string, double> probabilities;
-  collect(root, gates, probabilities);
+  std::vector<std::pair<std::string, double>> probabilities;
+  std::unordered_map<std::string, std::size_t> probability_index;
+  collect(root, gates, probabilities, probability_index);
   require_model(!gates.empty(), "openpsa: no define-gate found");
 
   fault_tree ft;

@@ -1,11 +1,17 @@
 #include "mcs/mocus.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <deque>
+#include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/sorted_set.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sdft {
 
@@ -16,7 +22,7 @@ namespace {
 struct partial_cutset {
   std::vector<node_index> events;
   std::vector<node_index> gates;
-  double probability = 1.0;  // product over chosen events
+  double probability = 1.0;  // product over chosen events, in sorted order
 };
 
 /// Key identifying a partial for the visited-set: events, separator, gates.
@@ -44,60 +50,46 @@ partial_key make_key(const partial_cutset& p) {
 
 enum class event_mode : char { free_event, forced_failed, forced_working };
 
-}  // namespace
+/// The expansion core shared by the serial and the parallel driver: the
+/// forced-event modes, the cutoff/order pruning and the single-gate
+/// expansion step. Stateless apart from the read-only inputs, so the
+/// parallel driver calls it from every worker without synchronisation.
+struct expansion {
+  const fault_tree& ft;
+  const mocus_options& opt;
+  std::vector<event_mode> mode;
 
-mocus_result mocus_from(const fault_tree& ft, node_index root,
-                        const mocus_options& opt) {
-  require_model(root < ft.size(), "mocus: root index out of range");
-  const stopwatch timer;
-  mocus_result result;
-
-  std::vector<event_mode> mode(ft.size(), event_mode::free_event);
-  for (node_index b : opt.assume_failed) {
-    require_model(b < ft.size() && ft.is_basic(b),
-                  "mocus: assume_failed entry is not a basic event");
-    mode[b] = event_mode::forced_failed;
-  }
-  for (node_index b : opt.assume_working) {
-    require_model(b < ft.size() && ft.is_basic(b),
-                  "mocus: assume_working entry is not a basic event");
-    require_model(mode[b] != event_mode::forced_failed,
-                  "mocus: event both assumed failed and assumed working");
-    mode[b] = event_mode::forced_working;
-  }
-
-  std::vector<partial_cutset> stack;
-  std::unordered_set<partial_key, partial_key_hash> visited;
-  std::vector<cutset> raw_cutsets;
-
-  // Seed with the root.
-  {
-    partial_cutset seed;
-    if (ft.is_basic(root)) {
-      switch (mode[root]) {
-        case event_mode::free_event:
-          seed.events.push_back(root);
-          seed.probability = ft.node(root).probability;
-          break;
-        case event_mode::forced_failed:
-          break;  // empty cutset: root already failed
-        case event_mode::forced_working:
-          // Root can never fail: no cutsets at all.
-          result.seconds = timer.seconds();
-          return result;
-      }
-    } else {
-      seed.gates.push_back(root);
+  expansion(const fault_tree& tree, const mocus_options& options)
+      : ft(tree), opt(options), mode(tree.size(), event_mode::free_event) {
+    for (node_index b : opt.assume_failed) {
+      require_model(b < ft.size() && ft.is_basic(b),
+                    "mocus: assume_failed entry is not a basic event");
+      mode[b] = event_mode::forced_failed;
     }
-    if (seed.probability >= opt.cutoff || opt.cutoff == 0.0) {
-      visited.insert(make_key(seed));
-      stack.push_back(std::move(seed));
+    for (node_index b : opt.assume_working) {
+      require_model(b < ft.size() && ft.is_basic(b),
+                    "mocus: assume_working entry is not a basic event");
+      require_model(mode[b] != event_mode::forced_failed,
+                    "mocus: event both assumed failed and assumed working");
+      mode[b] = event_mode::forced_working;
     }
   }
 
-  // Adds `child` (a basic event) to the partial; returns false if the
-  // partial dies (forced-working child of an AND, cutoff, order).
-  const auto add_event = [&](partial_cutset& p, node_index child) -> bool {
+  /// Canonical probability of an event set: the product in sorted-index
+  /// order. Recomputed from scratch on every insertion so the value (and
+  /// thus every cutoff decision) depends only on the set, never on the
+  /// expansion path that assembled it — the keystone of the bit-identical
+  /// serial/parallel guarantee.
+  double event_product(const std::vector<node_index>& events) const {
+    double p = 1.0;
+    for (node_index b : events) p *= ft.node(b).probability;
+    return p;
+  }
+
+  /// Adds `child` (a basic event) to the partial; returns false if the
+  /// partial dies (forced-working child of an AND, cutoff, order).
+  bool add_event(partial_cutset& p, node_index child,
+                 std::size_t& discarded) const {
     switch (mode[child]) {
       case event_mode::forced_failed:
         return true;  // satisfied for free
@@ -108,33 +100,19 @@ mocus_result mocus_from(const fault_tree& ft, node_index root,
     }
     if (sorted_set::contains(p.events, child)) return true;
     sorted_set::insert(p.events, child);
-    p.probability *= ft.node(child).probability;
+    p.probability = event_product(p.events);
     if (p.events.size() > opt.max_order ||
         (opt.cutoff > 0.0 && p.probability < opt.cutoff)) {
-      ++result.cutoff_discarded;
+      ++discarded;
       return false;
     }
     return true;
-  };
+  }
 
-  const auto push_if_new = [&](partial_cutset&& p) {
-    if (visited.size() >= opt.dedup_limit) visited.clear();
-    if (visited.insert(make_key(p)).second) stack.push_back(std::move(p));
-  };
-
-  while (!stack.empty()) {
-    partial_cutset p = std::move(stack.back());
-    stack.pop_back();
-    ++result.partials_processed;
-    if (result.partials_processed > opt.max_partials) {
-      throw numeric_error("mocus: partial cutset limit exceeded");
-    }
-
-    if (p.gates.empty()) {
-      raw_cutsets.push_back(std::move(p.events));
-      continue;
-    }
-
+  /// Expands one partial with a non-empty gate set by one gate, appending
+  /// the surviving children to `out`.
+  void expand(partial_cutset&& p, std::vector<partial_cutset>& out,
+              std::size_t& discarded) const {
     // Expand an AND gate if available (it only constrains, never branches,
     // so the cutoff prunes earlier); otherwise the first OR gate.
     std::size_t pick = 0;
@@ -152,7 +130,7 @@ mocus_result mocus_from(const fault_tree& ft, node_index root,
       bool alive = true;
       for (node_index child : gate.inputs) {
         if (ft.is_basic(child)) {
-          if (!add_event(p, child)) {
+          if (!add_event(p, child, discarded)) {
             alive = false;
             break;
           }
@@ -160,34 +138,215 @@ mocus_result mocus_from(const fault_tree& ft, node_index root,
           sorted_set::insert(p.gates, child);
         }
       }
-      if (alive) push_if_new(std::move(p));
+      if (alive) out.push_back(std::move(p));
     } else {
       // If any input is certainly failed the gate is satisfied outright;
       // branching would only create subsumed supersets.
-      bool satisfied = false;
       for (node_index child : gate.inputs) {
         if (ft.is_basic(child) && mode[child] == event_mode::forced_failed) {
-          satisfied = true;
-          break;
+          out.push_back(std::move(p));
+          return;
         }
-      }
-      if (satisfied) {
-        push_if_new(std::move(p));
-        continue;
       }
       for (node_index child : gate.inputs) {
         partial_cutset branch = p;
         if (ft.is_basic(child)) {
-          if (!add_event(branch, child)) continue;
+          if (!add_event(branch, child, discarded)) continue;
         } else {
           sorted_set::insert(branch.gates, child);
         }
-        push_if_new(std::move(branch));
+        out.push_back(std::move(branch));
       }
     }
   }
 
+  /// Builds the seed partial for `root`. Returns false when the root can
+  /// never fail (no cutsets at all); `*seed` is valid only on true.
+  bool seed(node_index root, partial_cutset* out) const {
+    partial_cutset seed;
+    if (ft.is_basic(root)) {
+      switch (mode[root]) {
+        case event_mode::free_event:
+          seed.events.push_back(root);
+          seed.probability = ft.node(root).probability;
+          break;
+        case event_mode::forced_failed:
+          break;  // empty cutset: root already failed
+        case event_mode::forced_working:
+          return false;
+      }
+    } else {
+      seed.gates.push_back(root);
+    }
+    if (seed.probability < opt.cutoff && opt.cutoff != 0.0) return false;
+    *out = std::move(seed);
+    return true;
+  }
+};
+
+/// The original single-threaded driver: an explicit DFS stack and one
+/// visited set cleared at dedup_limit.
+mocus_result run_serial(const expansion& ex, partial_cutset seed) {
+  mocus_result result;
+  std::vector<partial_cutset> stack;
+  std::unordered_set<partial_key, partial_key_hash> visited;
+  std::vector<cutset> raw_cutsets;
+
+  visited.insert(make_key(seed));
+  stack.push_back(std::move(seed));
+
+  std::vector<partial_cutset> children;
+  while (!stack.empty()) {
+    partial_cutset p = std::move(stack.back());
+    stack.pop_back();
+    ++result.partials_processed;
+    if (result.partials_processed > ex.opt.max_partials) {
+      throw numeric_error("mocus: partial cutset limit exceeded");
+    }
+
+    if (p.gates.empty()) {
+      raw_cutsets.push_back(std::move(p.events));
+      continue;
+    }
+    children.clear();
+    ex.expand(std::move(p), children, result.cutoff_discarded);
+    for (auto& c : children) {
+      if (visited.size() >= ex.opt.dedup_limit) visited.clear();
+      if (visited.insert(make_key(c)).second) stack.push_back(std::move(c));
+    }
+  }
+
   result.cutsets = minimize_cutsets(std::move(raw_cutsets));
+  return result;
+}
+
+/// The parallel driver: the pool's work-stealing deques act as the shared
+/// frontier of partial cutsets. Each task runs a local DFS, spilling
+/// breadth-side partials back to the pool for thieves; duplicates are
+/// filtered through a sharded visited cache; results and discard counters
+/// accumulate in per-worker buffers merged after wait_idle(). The raw
+/// cutset *set* is identical to the serial driver's (dedup and scheduling
+/// only affect which duplicates get re-expanded), and minimize_cutsets()
+/// canonicalises the final order, so the output is bit-identical to the
+/// serial path for every thread count.
+class parallel_mocus {
+ public:
+  parallel_mocus(const expansion& ex, thread_pool& pool)
+      : ex_(ex),
+        pool_(pool),
+        shard_limit_(std::max<std::size_t>(1, ex.opt.dedup_limit / num_shards)),
+        locals_(pool.size()) {}
+
+  mocus_result run(partial_cutset seed) {
+    mocus_result result;
+    mark_visited(seed);
+    pool_.submit([this, p = std::move(seed)]() mutable { run_task(std::move(p)); });
+    pool_.wait_idle();  // rethrows the numeric_error of a tripped valve
+
+    std::vector<cutset> raw;
+    for (local_buffers& local : locals_) {
+      result.cutoff_discarded += local.discarded;
+      raw.insert(raw.end(), std::make_move_iterator(local.raw.begin()),
+                 std::make_move_iterator(local.raw.end()));
+    }
+    result.partials_processed = processed_.load(std::memory_order_relaxed);
+    result.threads_used = pool_.size();
+    result.cutsets = minimize_cutsets(std::move(raw));
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t num_shards = 64;
+  /// Partials kept on the local run before breadth-side work is spilled to
+  /// the pool for stealing.
+  static constexpr std::size_t spill_threshold = 4;
+
+  struct alignas(64) visited_shard {
+    std::mutex mutex;
+    std::unordered_set<partial_key, partial_key_hash> set;
+  };
+
+  struct alignas(64) local_buffers {
+    std::vector<cutset> raw;
+    std::size_t discarded = 0;
+  };
+
+  bool mark_visited(const partial_cutset& p) {
+    partial_key key = make_key(p);
+    const std::size_t h = partial_key_hash{}(key);
+    visited_shard& shard = shards_[h % num_shards];
+    std::lock_guard lock(shard.mutex);
+    if (shard.set.size() >= shard_limit_) shard.set.clear();
+    return shard.set.insert(std::move(key)).second;
+  }
+
+  void run_task(partial_cutset p) {
+    local_buffers& local = locals_[pool_.worker_index()];
+    std::deque<partial_cutset> todo;
+    todo.push_back(std::move(p));
+    std::vector<partial_cutset> children;
+    while (!todo.empty()) {
+      if (aborted_.load(std::memory_order_relaxed)) return;
+      partial_cutset cur = std::move(todo.back());
+      todo.pop_back();
+      if (processed_.fetch_add(1, std::memory_order_relaxed) >=
+          ex_.opt.max_partials) {
+        aborted_.store(true, std::memory_order_relaxed);
+        throw numeric_error("mocus: partial cutset limit exceeded");
+      }
+      if (cur.gates.empty()) {
+        local.raw.push_back(std::move(cur.events));
+        continue;
+      }
+      children.clear();
+      ex_.expand(std::move(cur), children, local.discarded);
+      for (auto& c : children) {
+        if (mark_visited(c)) todo.push_back(std::move(c));
+      }
+      // Keep the depth-side tail local; hand the breadth side (the oldest,
+      // largest unexplored partials) to the pool for other workers.
+      while (todo.size() > spill_threshold) {
+        pool_.submit([this, sp = std::move(todo.front())]() mutable {
+          run_task(std::move(sp));
+        });
+        todo.pop_front();
+      }
+    }
+  }
+
+  const expansion& ex_;
+  thread_pool& pool_;
+  const std::size_t shard_limit_;
+  std::array<visited_shard, num_shards> shards_;
+  std::vector<local_buffers> locals_;
+  std::atomic<std::size_t> processed_{0};
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace
+
+mocus_result mocus_from(const fault_tree& ft, node_index root,
+                        const mocus_options& opt) {
+  require_model(root < ft.size(), "mocus: root index out of range");
+  const stopwatch timer;
+  const expansion ex(ft, opt);
+
+  partial_cutset seed;
+  if (!ex.seed(root, &seed)) {
+    mocus_result result;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  // The parallel driver needs a pool with at least two workers and must not
+  // be entered from a job already running on that pool (its wait_idle()
+  // would stall the worker the caller occupies).
+  thread_pool* pool = opt.pool;
+  const bool parallel =
+      pool != nullptr && pool->size() > 1 && pool->worker_index() == thread_pool::npos;
+
+  mocus_result result = parallel ? parallel_mocus(ex, *pool).run(std::move(seed))
+                                 : run_serial(ex, std::move(seed));
   result.seconds = timer.seconds();
   return result;
 }

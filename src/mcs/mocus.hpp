@@ -9,10 +9,17 @@
 
 namespace sdft {
 
+class thread_pool;
+
 /// Options for the MOCUS minimal-cutset generator (paper §IV-B).
 struct mocus_options {
   /// Partial cutsets whose basic-event probability product falls below this
   /// are discarded (the paper's cutoff constant c*, e.g. 1e-15). 0 disables.
+  /// The product is always evaluated over the partial's *sorted* event set,
+  /// so the cutoff decision for a partial depends only on which events it
+  /// contains — never on the expansion path that reached it. This keeps the
+  /// generated cutset list identical between the serial and the parallel
+  /// driver (and across thread counts).
   double cutoff = 0.0;
 
   /// Maximum number of basic events per cutset; larger partials are
@@ -20,14 +27,24 @@ struct mocus_options {
   std::size_t max_order = std::numeric_limits<std::size_t>::max();
 
   /// Safety valve on the number of partial cutsets processed; exceeding it
-  /// throws numeric_error rather than exhausting memory.
+  /// throws numeric_error rather than exhausting memory. Enforced with a
+  /// relaxed shared counter in the parallel driver, so it trips promptly
+  /// regardless of thread count.
   std::size_t max_partials = 100'000'000;
 
   /// Size bound of the duplicate-partial cache. Deduplication is a pure
   /// optimisation (duplicates expand to identical cutsets), so the cache
   /// is cleared when it reaches this bound: memory stays bounded on huge
   /// models at the price of occasionally re-expanding a shared partial.
+  /// The parallel driver shards the cache and bounds each shard at
+  /// dedup_limit / #shards.
   std::size_t dedup_limit = 4'000'000;
+
+  /// Worker pool for parallel partial-cutset expansion. nullptr (or a pool
+  /// with a single worker, or a call made from within a worker job of this
+  /// very pool) runs the serial driver. The produced cutset list is
+  /// bit-identical either way.
+  thread_pool* pool = nullptr;
 
   /// Basic events assumed certainly failed (boolean TRUE). They satisfy
   /// gates but never appear in the produced cutsets. Used by the per-MCS
@@ -50,6 +67,7 @@ struct mocus_result {
 
   std::size_t partials_processed = 0;  ///< partial cutsets expanded
   std::size_t cutoff_discarded = 0;    ///< partials dropped by cutoff/order
+  std::size_t threads_used = 1;        ///< workers of the driver that ran
   double seconds = 0.0;                ///< wall-clock generation time
 };
 

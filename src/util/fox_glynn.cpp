@@ -8,7 +8,14 @@
 namespace sdft {
 
 double log_factorial(std::size_t n) {
+#if defined(__GLIBC__)
+  // std::lgamma writes the global signgam — a data race when the engine
+  // quantifies cutsets in parallel; glibc's reentrant variant does not.
+  int sign = 0;
+  return lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#else
   return std::lgamma(static_cast<double>(n) + 1.0);
+#endif
 }
 
 namespace {

@@ -1,17 +1,45 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <utility>
 
 namespace sdft {
+
+namespace {
+
+/// Worker registration: which pool (if any) the current thread belongs to.
+/// Workers of nested pools see their own pool, not the outer one.
+thread_local const thread_pool* tls_pool = nullptr;
+thread_local std::size_t tls_index = thread_pool::npos;
+
+}  // namespace
+
+double pool_counters::occupancy_since(const pool_counters& before) const {
+  std::size_t sum = 0;
+  std::size_t max = 0;
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    const std::size_t prior = i < before.executed.size() ? before.executed[i] : 0;
+    const std::size_t ran = executed[i] - prior;
+    sum += ran;
+    max = std::max(max, ran);
+  }
+  if (max == 0) return 0.0;
+  return static_cast<double>(sum) /
+         (static_cast<double>(executed.size()) * static_cast<double>(max));
+}
 
 thread_pool::thread_pool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  deques_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<work_deque>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -24,17 +52,112 @@ thread_pool::~thread_pool() {
   for (auto& w : workers_) w.join();
 }
 
-void thread_pool::submit(std::function<void()> job) {
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push(std::move(job));
+std::size_t thread_pool::worker_index() const {
+  return tls_pool == this ? tls_index : npos;
+}
+
+pool_counters thread_pool::counters() const {
+  pool_counters out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.stolen = stolen_.load(std::memory_order_relaxed);
+  out.executed.reserve(deques_.size());
+  for (const auto& dq : deques_) {
+    out.executed.push_back(dq->executed.load(std::memory_order_relaxed));
   }
-  work_available_.notify_one();
+  return out;
+}
+
+void thread_pool::submit(std::function<void()> job) {
+  const std::size_t me = worker_index();
+  const std::size_t target =
+      me != npos
+          ? me
+          : next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  // pending_ and queued_ go up before the push so neither can be observed
+  // below the number of live jobs (queued_ may transiently exceed it, which
+  // only makes a scanner re-check a deque).
+  pending_.fetch_add(1);
+  queued_.fetch_add(1);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  work_deque& dq = *deques_[target];
+  {
+    std::lock_guard lock(dq.mutex);
+    dq.jobs.push_back(std::move(job));
+    dq.approx_size.store(dq.jobs.size(), std::memory_order_relaxed);
+  }
+  // Wake a sleeper if there might be one. The seq_cst ordering between the
+  // queued_ increment above and this sleepers_ read pairs with the reverse
+  // order in worker_loop (sleepers_ increment, then queued_ check under
+  // mutex_), so a worker about to sleep either sees the new job or is
+  // notified under the lock.
+  if (sleepers_.load() > 0) {
+    std::lock_guard lock(mutex_);
+    work_available_.notify_one();
+  }
+}
+
+bool thread_pool::try_pop(work_deque& dq, bool steal,
+                          std::function<void()>& out) {
+  if (dq.approx_size.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard lock(dq.mutex);
+  if (dq.jobs.empty()) return false;
+  if (steal) {
+    out = std::move(dq.jobs.front());
+    dq.jobs.pop_front();
+  } else {
+    out = std::move(dq.jobs.back());
+    dq.jobs.pop_back();
+  }
+  dq.approx_size.store(dq.jobs.size(), std::memory_order_relaxed);
+  queued_.fetch_sub(1);
+  return true;
+}
+
+std::function<void()> thread_pool::take(std::size_t me) {
+  std::function<void()> job;
+  if (try_pop(*deques_[me], /*steal=*/false, job)) return job;
+  const std::size_t n = deques_.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (try_pop(*deques_[(me + i) % n], /*steal=*/true, job)) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return job;
+    }
+  }
+  return job;  // empty: nothing to run anywhere
+}
+
+void thread_pool::worker_loop(std::size_t me) {
+  tls_pool = this;
+  tls_index = me;
+  for (;;) {
+    std::function<void()> job = take(me);
+    if (!job) {
+      std::unique_lock lock(mutex_);
+      if (stopping_ && queued_.load() == 0) return;
+      sleepers_.fetch_add(1);
+      work_available_.wait(
+          lock, [this] { return stopping_ || queued_.load() > 0; });
+      sleepers_.fetch_sub(1);
+      if (stopping_ && queued_.load() == 0) return;
+      continue;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    deques_[me]->executed.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.fetch_sub(1) == 1) {
+      std::lock_guard lock(mutex_);
+      all_idle_.notify_all();
+    }
+  }
 }
 
 void thread_pool::wait_idle() {
   std::unique_lock lock(mutex_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  all_idle_.wait(lock, [this] { return pending_.load() == 0; });
   if (first_exception_) {
     std::exception_ptr e = nullptr;
     std::swap(e, first_exception_);
@@ -43,37 +166,12 @@ void thread_pool::wait_idle() {
   }
 }
 
-void thread_pool::worker_loop() {
-  for (;;) {
-    std::function<void()> job;
-    {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop();
-      ++in_flight_;
-    }
-    try {
-      job();
-    } catch (...) {
-      std::lock_guard lock(mutex_);
-      if (!first_exception_) first_exception_ = std::current_exception();
-    }
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
-    }
-  }
-}
-
 void parallel_for(thread_pool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   // One job per index; quantification jobs are heavy enough that chunking
-  // would only complicate load balancing across very uneven MCS sizes.
+  // would only complicate load balancing across very uneven MCS sizes, and
+  // the work-stealing deques keep per-job overhead off the shared path.
   for (std::size_t i = 0; i < n; ++i) {
     pool.submit([&fn, i] { fn(i); });
   }

@@ -1,26 +1,54 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace sdft {
 
-/// Fixed-size thread pool used to quantify minimal cutsets in parallel.
+/// Snapshot of a pool's work-distribution counters. Counters are cumulative
+/// over the pool's lifetime; callers interested in one phase take a snapshot
+/// before and after and difference them.
+struct pool_counters {
+  std::size_t submitted = 0;  ///< jobs handed to submit()
+  std::size_t stolen = 0;     ///< jobs a worker took from another worker's deque
+  std::vector<std::size_t> executed;  ///< jobs run, per worker
+
+  /// Load balance of the jobs executed since `before`: mean per-worker
+  /// executed count divided by the maximum, in [0, 1]. 1 means every worker
+  /// ran the same number of jobs; 0 means no jobs ran at all.
+  double occupancy_since(const pool_counters& before) const;
+};
+
+/// Fixed-size thread pool with per-worker work-stealing deques, used for
+/// parallel cutset generation (stage 2) and per-cutset quantification
+/// (stage 3) of the analysis engine.
 ///
-/// Deliberately minimal: submit() enqueues void() jobs, wait_idle() blocks
-/// until every submitted job has finished. An exception escaping a job is
-/// captured (first one wins; later ones are dropped) and rethrown from the
-/// next wait_idle(), after every remaining job has run — the pool keeps
-/// draining, so no submitted work is silently skipped. An exception never
-/// claimed by wait_idle() is discarded by the destructor.
+/// Each worker owns a deque: jobs submitted from a worker thread go to the
+/// back of its own deque (no shared lock), and the worker pops from the
+/// back (LIFO, depth-first locality). Idle workers steal from the front of
+/// other deques (FIFO, breadth-side work, i.e. the largest unexplored
+/// subproblems). Jobs submitted from outside the pool are distributed
+/// round-robin.
+///
+/// submit() enqueues void() jobs, wait_idle() blocks until every submitted
+/// job (including jobs submitted by running jobs) has finished. An
+/// exception escaping a job is captured (first one wins; later ones are
+/// dropped) and rethrown from the next wait_idle(), after every remaining
+/// job has run — the pool keeps draining, so no submitted work is silently
+/// skipped. An exception never claimed by wait_idle() is discarded by the
+/// destructor.
 class thread_pool {
  public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
   explicit thread_pool(std::size_t threads = 0);
 
@@ -29,33 +57,62 @@ class thread_pool {
 
   ~thread_pool();
 
-  /// Enqueues a job for asynchronous execution.
+  /// Enqueues a job for asynchronous execution. Safe to call from worker
+  /// jobs of this pool (the job lands on the calling worker's own deque).
   void submit(std::function<void()> job);
 
-  /// Blocks until the queue is empty and all workers are idle, then
+  /// Blocks until every deque is empty and all workers are idle, then
   /// rethrows the first exception that escaped a job since the last
-  /// wait_idle() (clearing it, so the pool stays usable).
+  /// wait_idle() (clearing it, so the pool stays usable). Must not be
+  /// called from a worker job of this pool.
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
 
- private:
-  void worker_loop();
+  /// Index of the calling thread within this pool ([0, size())), or npos
+  /// when called from a thread that is not a worker of this pool.
+  std::size_t worker_index() const;
 
+  /// Snapshot of the cumulative work-distribution counters.
+  pool_counters counters() const;
+
+ private:
+  /// One worker's deque, padded so the per-deque locks and counters of
+  /// adjacent workers do not share cache lines.
+  struct alignas(64) work_deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> jobs;
+    std::atomic<std::size_t> approx_size{0};  ///< lock-free emptiness probe
+    std::atomic<std::size_t> executed{0};
+  };
+
+  bool try_pop(work_deque& dq, bool steal, std::function<void()>& out);
+  std::function<void()> take(std::size_t me);
+  void worker_loop(std::size_t me);
+
+  std::vector<std::unique_ptr<work_deque>> deques_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+
+  std::atomic<std::size_t> queued_{0};   ///< jobs sitting in deques
+  std::atomic<std::size_t> pending_{0};  ///< queued + currently running
+  std::atomic<std::size_t> sleepers_{0};
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> stolen_{0};
+  std::atomic<std::size_t> next_deque_{0};  ///< round-robin for external submits
+
+  std::mutex mutex_;  ///< guards the condition variables, stopping_, exception
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_exception_;
 };
 
 /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
 /// With an empty pool (threads == 0 resolved to 1 worker) this still works;
-/// for n == 0 it returns immediately. If `fn` throws for some index, every
-/// index still runs and the first exception is rethrown afterwards.
+/// for n == 0 it returns immediately, and n smaller than the pool simply
+/// leaves workers idle. If `fn` throws for some index — including the very
+/// first — every index still runs and the first exception is rethrown
+/// afterwards.
 void parallel_for(thread_pool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -107,6 +107,28 @@ TEST(OpenPsa, RoundTripsRunningExample) {
   EXPECT_EQ(mocus(parsed).cutsets.size(), mocus(original).cutsets.size());
 }
 
+class OpenPsaRandomTrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpenPsaRandomTrees, RoundTripsRandomStaticTrees) {
+  // parse(write(ft)) must reproduce the structure and the probability;
+  // write o parse must be a fixpoint on the document text.
+  const fault_tree original = testing::make_random_static_tree(
+                                  0x40c + static_cast<std::uint64_t>(GetParam()))
+                                  .structure();
+  const std::string xml = write_openpsa(original, "random");
+  const fault_tree parsed = parse_openpsa(xml);
+  EXPECT_EQ(parsed.num_basic_events(), original.num_basic_events());
+  EXPECT_EQ(parsed.num_gates(), original.num_gates());
+  EXPECT_NEAR(ft_bdd(parsed).probability(), ft_bdd(original).probability(),
+              1e-15);
+  EXPECT_EQ(mocus(parsed).cutsets.size(), mocus(original).cutsets.size());
+  // The parser numbers events in document order, so the written form is a
+  // verbatim fixpoint of write o parse.
+  EXPECT_EQ(write_openpsa(parsed, "random"), xml);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpenPsaRandomTrees, ::testing::Range(0, 12));
+
 TEST(OpenPsa, RejectsBrokenModels) {
   // Undefined reference.
   EXPECT_THROW(parse_openpsa(R"(

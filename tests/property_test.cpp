@@ -13,96 +13,13 @@
 #include "product/product_ctmc.hpp"
 #include "sdft/sd_fault_tree.hpp"
 #include "sdft/translate.hpp"
-#include "util/rng.hpp"
+#include "test_models.hpp"
 
 namespace sdft {
 namespace {
 
-/// Random SD fault tree with a guaranteed-acyclic trigger structure:
-/// the events are split into a "source" half (static + untriggered
-/// dynamic, combined by a random subtree) and a "target" half (whose
-/// dynamic events may be triggered by gates of the source subtree).
-struct random_sd_tree {
-  sd_fault_tree tree;
-  std::size_t num_triggered = 0;
-};
-
-random_sd_tree make_random_sd_tree(std::uint64_t seed) {
-  rng random(seed);
-  random_sd_tree out;
-  sd_fault_tree& tree = out.tree;
-
-  const auto random_gate_type = [&] {
-    return random.chance(0.5) ? gate_type::and_gate : gate_type::or_gate;
-  };
-
-  // Source half: 3 leaves (static or untriggered dynamic), 2 gates.
-  std::vector<node_index> source_pool;
-  for (int i = 0; i < 3; ++i) {
-    if (random.chance(0.5)) {
-      source_pool.push_back(tree.add_static_event(
-          "s" + std::to_string(i), random.uniform(0.02, 0.3)));
-    } else {
-      source_pool.push_back(tree.add_dynamic_event(
-          "x" + std::to_string(i),
-          make_repairable(random.uniform(0.02, 0.1),
-                          random.chance(0.5) ? random.uniform(0.0, 0.3)
-                                             : 0.0)));
-    }
-  }
-  std::vector<node_index> source_gates;
-  for (int g = 0; g < 2; ++g) {
-    std::vector<node_index> inputs;
-    for (int i = 0, n = static_cast<int>(random.between(2, 3)); i < n; ++i) {
-      inputs.push_back(source_pool[random.below(source_pool.size())]);
-    }
-    const node_index gate = tree.add_gate("sg" + std::to_string(g),
-                                          random_gate_type(), inputs);
-    source_pool.push_back(gate);
-    source_gates.push_back(gate);
-  }
-
-  // Target half: 3 leaves, dynamic ones may be triggered by source gates.
-  std::vector<node_index> target_pool;
-  for (int i = 0; i < 3; ++i) {
-    const int kind = static_cast<int>(random.between(0, 2));
-    if (kind == 0) {
-      target_pool.push_back(tree.add_static_event(
-          "t" + std::to_string(i), random.uniform(0.02, 0.3)));
-    } else if (kind == 1) {
-      target_pool.push_back(tree.add_dynamic_event(
-          "y" + std::to_string(i),
-          make_repairable(random.uniform(0.02, 0.1),
-                          random.uniform(0.0, 0.3))));
-    } else {
-      const node_index e = tree.add_dynamic_event(
-          "z" + std::to_string(i),
-          make_erlang_triggered(static_cast<int>(random.between(1, 2)),
-                                random.uniform(0.02, 0.1),
-                                random.uniform(0.0, 0.3), 100.0));
-      tree.set_trigger(source_gates[random.below(source_gates.size())], e);
-      target_pool.push_back(e);
-      ++out.num_triggered;
-    }
-  }
-  std::vector<node_index> target_gates;
-  for (int g = 0; g < 2; ++g) {
-    std::vector<node_index> inputs;
-    for (int i = 0, n = static_cast<int>(random.between(2, 3)); i < n; ++i) {
-      inputs.push_back(target_pool[random.below(target_pool.size())]);
-    }
-    const node_index gate = tree.add_gate("tg" + std::to_string(g),
-                                          random_gate_type(), inputs);
-    target_pool.push_back(gate);
-    target_gates.push_back(gate);
-  }
-
-  tree.set_top(tree.add_gate(
-      "top", random_gate_type(),
-      {source_gates.back(), target_gates.back()}));
-  tree.validate();
-  return out;
-}
+using testing::make_random_sd_tree;
+using testing::random_sd_tree;
 
 class RandomSdTrees : public ::testing::TestWithParam<int> {};
 

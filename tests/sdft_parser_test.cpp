@@ -89,6 +89,58 @@ TEST(SdParser, ParsesTriggeredChainBlocks) {
   EXPECT_EQ(model.on_state, (std::vector<char>{0, 0, 1, 1}));
 }
 
+class SdParserRandomTrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdParserRandomTrees, RoundTripsRandomSdTrees) {
+  // parse(write(tree)) must reproduce the structure, the trigger wiring
+  // and the semantics; write o parse must be a fixpoint on the text.
+  const sd_fault_tree tree =
+      testing::make_random_sd_tree(0x2f0 + static_cast<std::uint64_t>(GetParam()))
+          .tree;
+  const std::string text = write_sd_fault_tree(tree);
+  const sd_fault_tree parsed = parse_sd_fault_tree_string(text);
+
+  const fault_tree& ft = tree.structure();
+  const fault_tree& pft = parsed.structure();
+  ASSERT_EQ(pft.size(), ft.size());
+  EXPECT_EQ(pft.num_basic_events(), ft.num_basic_events());
+  EXPECT_EQ(pft.num_gates(), ft.num_gates());
+  EXPECT_EQ(parsed.dynamic_events().size(), tree.dynamic_events().size());
+  for (node_index n = 0; n < ft.size(); ++n) {
+    const node_index m = pft.find(ft.node(n).name);
+    ASSERT_NE(m, fault_tree::npos) << ft.node(n).name;
+    EXPECT_EQ(pft.node(m).type, ft.node(n).type) << ft.node(n).name;
+    EXPECT_EQ(pft.node(m).inputs.size(), ft.node(n).inputs.size())
+        << ft.node(n).name;
+    const node_index trig = tree.trigger_gate_of(n);
+    if (trig == fault_tree::npos) {
+      EXPECT_EQ(parsed.trigger_gate_of(m), fault_tree::npos);
+    } else {
+      ASSERT_NE(parsed.trigger_gate_of(m), fault_tree::npos);
+      EXPECT_EQ(pft.node(parsed.trigger_gate_of(m)).name,
+                ft.node(trig).name);
+    }
+  }
+  EXPECT_EQ(pft.node(pft.top()).name, ft.node(ft.top()).name);
+  EXPECT_EQ(write_sd_fault_tree(parsed), text);
+}
+
+TEST_P(SdParserRandomTrees, RoundTripsRandomStaticTrees) {
+  const sd_fault_tree tree = testing::make_random_static_tree(
+      0x77a + static_cast<std::uint64_t>(GetParam()));
+  const std::string text = write_sd_fault_tree(tree);
+  const sd_fault_tree parsed = parse_sd_fault_tree_string(text);
+  EXPECT_TRUE(parsed.dynamic_events().empty());
+  EXPECT_EQ(parsed.structure().num_basic_events(),
+            tree.structure().num_basic_events());
+  EXPECT_EQ(parsed.structure().num_gates(), tree.structure().num_gates());
+  EXPECT_NEAR(parsed.structure().probability_brute_force(),
+              tree.structure().probability_brute_force(), 1e-15);
+  EXPECT_EQ(write_sd_fault_tree(parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdParserRandomTrees, ::testing::Range(0, 12));
+
 TEST(SdParser, RejectsIncompleteSwitchMaps) {
   EXPECT_THROW(parse_sd_fault_tree_string(
                    "dyn y chain 4\n"

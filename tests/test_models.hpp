@@ -1,13 +1,20 @@
 #pragma once
 
 // Shared model builders for the test suite: the paper's running example
-// (Examples 1-7) and small structures exercising the trigger classes of
-// Figure 1 / Example 9.
+// (Examples 1-7), small structures exercising the trigger classes of
+// Figure 1 / Example 9, and seeded random tree generators for property
+// and determinism tests.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "ctmc/ctmc.hpp"
 #include "ctmc/triggered.hpp"
 #include "ft/fault_tree.hpp"
 #include "sdft/sd_fault_tree.hpp"
+#include "util/rng.hpp"
 
 namespace sdft::testing {
 
@@ -75,6 +82,140 @@ inline sd_fault_tree example3_sd(double failure_rate = 1e-3,
       tree.add_gate("PUMPS", gate_type::and_gate, {pump1, pump2});
   tree.set_top(tree.add_gate("COOLING", gate_type::or_gate, {e, pumps}));
   tree.set_trigger(pump1, d);
+  tree.validate();
+  return tree;
+}
+
+/// Random SD fault tree with a guaranteed-acyclic trigger structure:
+/// the events are split into a "source" half (static + untriggered
+/// dynamic, combined by a random subtree) and a "target" half (whose
+/// dynamic events may be triggered by gates of the source subtree).
+struct random_sd_tree {
+  sd_fault_tree tree;
+  std::size_t num_triggered = 0;
+};
+
+inline random_sd_tree make_random_sd_tree(std::uint64_t seed) {
+  rng random(seed);
+  random_sd_tree out;
+  sd_fault_tree& tree = out.tree;
+
+  const auto random_gate_type = [&] {
+    return random.chance(0.5) ? gate_type::and_gate : gate_type::or_gate;
+  };
+
+  // Source half: 3 leaves (static or untriggered dynamic), 2 gates.
+  std::vector<node_index> source_pool;
+  for (int i = 0; i < 3; ++i) {
+    if (random.chance(0.5)) {
+      source_pool.push_back(tree.add_static_event(
+          "s" + std::to_string(i), random.uniform(0.02, 0.3)));
+    } else {
+      source_pool.push_back(tree.add_dynamic_event(
+          "x" + std::to_string(i),
+          make_repairable(random.uniform(0.02, 0.1),
+                          random.chance(0.5) ? random.uniform(0.0, 0.3)
+                                             : 0.0)));
+    }
+  }
+  std::vector<node_index> source_gates;
+  for (int g = 0; g < 2; ++g) {
+    std::vector<node_index> inputs;
+    for (int i = 0, n = static_cast<int>(random.between(2, 3)); i < n; ++i) {
+      inputs.push_back(source_pool[random.below(source_pool.size())]);
+    }
+    const node_index gate = tree.add_gate("sg" + std::to_string(g),
+                                          random_gate_type(), inputs);
+    source_pool.push_back(gate);
+    source_gates.push_back(gate);
+  }
+
+  // Target half: 3 leaves, dynamic ones may be triggered by source gates.
+  std::vector<node_index> target_pool;
+  for (int i = 0; i < 3; ++i) {
+    const int kind = static_cast<int>(random.between(0, 2));
+    if (kind == 0) {
+      target_pool.push_back(tree.add_static_event(
+          "t" + std::to_string(i), random.uniform(0.02, 0.3)));
+    } else if (kind == 1) {
+      target_pool.push_back(tree.add_dynamic_event(
+          "y" + std::to_string(i),
+          make_repairable(random.uniform(0.02, 0.1),
+                          random.uniform(0.0, 0.3))));
+    } else {
+      const node_index e = tree.add_dynamic_event(
+          "z" + std::to_string(i),
+          make_erlang_triggered(static_cast<int>(random.between(1, 2)),
+                                random.uniform(0.02, 0.1),
+                                random.uniform(0.0, 0.3), 100.0));
+      tree.set_trigger(source_gates[random.below(source_gates.size())], e);
+      target_pool.push_back(e);
+      ++out.num_triggered;
+    }
+  }
+  std::vector<node_index> target_gates;
+  for (int g = 0; g < 2; ++g) {
+    std::vector<node_index> inputs;
+    for (int i = 0, n = static_cast<int>(random.between(2, 3)); i < n; ++i) {
+      inputs.push_back(target_pool[random.below(target_pool.size())]);
+    }
+    const node_index gate = tree.add_gate("tg" + std::to_string(g),
+                                          random_gate_type(), inputs);
+    target_pool.push_back(gate);
+    target_gates.push_back(gate);
+  }
+
+  tree.set_top(tree.add_gate(
+      "top", random_gate_type(),
+      {source_gates.back(), target_gates.back()}));
+  tree.validate();
+  return out;
+}
+
+/// Random purely static SD fault tree: `num_events` basic events combined
+/// by a layer of random AND/OR gates; every gate not referenced by a later
+/// gate feeds the OR top, so the whole tree is reachable from the top (a
+/// requirement of the OpenPSA round trip). Used by the parser round-trip
+/// and determinism tests.
+inline sd_fault_tree make_random_static_tree(std::uint64_t seed,
+                                             std::size_t num_events = 8,
+                                             std::size_t num_gates = 5) {
+  rng random(seed);
+  sd_fault_tree tree;
+  std::vector<node_index> pool;
+  for (std::size_t i = 0; i < num_events; ++i) {
+    pool.push_back(tree.add_static_event("e" + std::to_string(i),
+                                         random.uniform(1e-4, 0.3)));
+  }
+  std::vector<node_index> gates;
+  std::vector<node_index> referenced;
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    std::vector<node_index> inputs;
+    const std::size_t n = random.between(2, 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      node_index pick = pool[random.below(pool.size())];
+      if (std::find(inputs.begin(), inputs.end(), pick) == inputs.end()) {
+        inputs.push_back(pick);
+      }
+    }
+    if (inputs.size() < 2) inputs.push_back(pool[random.below(num_events)]);
+    const node_index gate = tree.add_gate(
+        "g" + std::to_string(g),
+        random.chance(0.5) ? gate_type::and_gate : gate_type::or_gate,
+        inputs);
+    referenced.insert(referenced.end(), inputs.begin(), inputs.end());
+    pool.push_back(gate);
+    gates.push_back(gate);
+  }
+  std::vector<node_index> top_inputs;
+  for (node_index gate : gates) {
+    if (std::find(referenced.begin(), referenced.end(), gate) ==
+        referenced.end()) {
+      top_inputs.push_back(gate);
+    }
+  }
+  if (top_inputs.empty()) top_inputs.push_back(gates.back());
+  tree.set_top(tree.add_gate("top", gate_type::or_gate, top_inputs));
   tree.validate();
   return tree;
 }

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -216,6 +219,95 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                             }),
                std::runtime_error);
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  thread_pool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForExceptionFromFirstChunk) {
+  thread_pool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(pool, 32,
+                            [&ran](std::size_t i) {
+                              ran.fetch_add(1);
+                              if (i == 0) throw std::runtime_error("index 0");
+                            }),
+               std::runtime_error);
+  // The failing first index must not abandon the remaining jobs.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SubmitFromWorkerJob) {
+  // Jobs submitted from inside a worker land on that worker's own deque;
+  // wait_idle() must still cover the whole transitive job tree.
+  thread_pool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      for (int j = 0; j < 16; ++j) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ThreadPool, WorkerIndexIdentifiesWorkers) {
+  thread_pool pool(4);
+  EXPECT_EQ(pool.worker_index(), thread_pool::npos);
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  parallel_for(pool, 64, [&](std::size_t) {
+    const std::size_t me = pool.worker_index();
+    ASSERT_LT(me, pool.size());
+    std::lock_guard lock(mutex);
+    seen.insert(me);
+  });
+  EXPECT_EQ(pool.worker_index(), thread_pool::npos);
+  EXPECT_GE(seen.size(), 1u);
+  for (std::size_t w : seen) EXPECT_LT(w, pool.size());
+}
+
+TEST(ThreadPool, CountersTrackSubmissionsAndExecutions) {
+  thread_pool pool(2);
+  const pool_counters before = pool.counters();
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  const pool_counters after = pool.counters();
+  EXPECT_EQ(after.submitted - before.submitted, 50u);
+  ASSERT_EQ(after.executed.size(), pool.size());
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < after.executed.size(); ++i) {
+    executed += after.executed[i] - before.executed[i];
+  }
+  EXPECT_EQ(executed, 50u);
+  EXPECT_GT(after.occupancy_since(before), 0.0);
+  EXPECT_LE(after.occupancy_since(before), 1.0);
+}
+
+TEST(ThreadPool, ChildJobsAreStolenFromBusyWorker) {
+  // The parent job parks on its worker and spins until both children have
+  // run. The children sit on the parent's own deque, so the only way they
+  // can ever run is another worker stealing them — this deadlocks (and
+  // times out) if stealing is broken.
+  thread_pool pool(4);
+  std::atomic<int> done{0};
+  pool.submit([&pool, &done] {
+    for (int i = 0; i < 2; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    while (done.load() < 2) std::this_thread::yield();
+  });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_GE(pool.counters().stolen, 2u);
 }
 
 TEST(TextTable, AlignsColumnsAndRejectsBadRows) {

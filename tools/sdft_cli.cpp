@@ -41,6 +41,7 @@
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -149,8 +150,10 @@ int cmd_static(const cli_options& opt) {
                 "static analysis requires a purely static model; use "
                 "'analyze' for SD models");
   const fault_tree& ft = tree.structure();
+  thread_pool pool(opt.threads);
   mocus_options mopts;
   mopts.cutoff = opt.cutoff;
+  mopts.pool = &pool;
   const mocus_result mcs = mocus(ft, mopts);
   std::printf("basic events:     %zu\n", ft.num_basic_events());
   std::printf("gates:            %zu\n", ft.num_gates());
@@ -170,8 +173,10 @@ int cmd_mcs(const cli_options& opt) {
   const sd_fault_tree tree = load(opt.file);
   const static_translation tr =
       translate_to_static(tree, opt.horizon, 1e-10);
+  thread_pool pool(opt.threads);
   mocus_options mopts;
   mopts.cutoff = opt.cutoff;
+  mopts.pool = &pool;
   const mocus_result mcs = mocus(tr.ft_bar, mopts);
   std::printf("# %zu minimal cutsets (top %zu by probability)\n",
               mcs.cutsets.size(), opt.top);
@@ -218,6 +223,14 @@ void print_engine_stats(const engine_stats& s) {
                                             " (" + rate + " hit rate)"});
   table.add_row({"cache entries", std::to_string(s.cache_entries)});
   table.add_row({"pool threads", std::to_string(s.pool_threads)});
+  char occupancy[32];
+  std::snprintf(occupancy, sizeof occupancy, "%.1f%%",
+                100.0 * s.mocus_occupancy);
+  table.add_row({"generate threads", std::to_string(s.mocus_threads)});
+  table.add_row({"generate tasks / steals",
+                 std::to_string(s.mocus_tasks) + " / " +
+                     std::to_string(s.mocus_steals) + " (" + occupancy +
+                     " occupancy)"});
   std::printf("%s", table.str().c_str());
 }
 
