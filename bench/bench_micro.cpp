@@ -104,6 +104,109 @@ void bm_quantify_mcs(benchmark::State& state) {
 }
 BENCHMARK(bm_quantify_mcs)->Unit(benchmark::kMicrosecond);
 
+// --- Stage-3 fast-path kernels ------------------------------------------
+// The CI perf-smoke job runs exactly these via --benchmark_filter=stage3
+// and archives the JSON (no thresholds; trend data only).
+
+triggered_ctmc standby_pump(double failure_rate, double repair_rate) {
+  triggered_ctmc m;
+  m.chain = ctmc(4);
+  m.chain.set_initial(0, 1.0);
+  m.chain.set_failed(3);
+  m.chain.add_rate(2, 3, failure_rate);
+  m.chain.add_rate(3, 2, repair_rate);
+  m.chain.add_rate(1, 0, repair_rate);
+  m.on_state = {0, 0, 1, 1};
+  m.to_on = {2, 3, 0, 0};
+  m.to_off = {0, 0, 0, 1};
+  return m;
+}
+
+/// k identical standby trains sharing one trigger gate — the shape the
+/// symmetry lumping collapses from 2 * 2^k to 2 * (k + 1) states.
+sd_fault_tree standby_trains_tree(std::size_t k) {
+  sd_fault_tree tree;
+  const node_index primary =
+      tree.add_dynamic_event("primary", make_repairable(0.01, 0.05));
+  const node_index gp = tree.add_gate("GP", gate_type::or_gate, {primary});
+  std::vector<node_index> top_inputs{gp};
+  for (std::size_t i = 0; i < k; ++i) {
+    const node_index train = tree.add_dynamic_event(
+        "train" + std::to_string(i), standby_pump(0.002, 0.05));
+    tree.set_trigger(gp, train);
+    top_inputs.push_back(train);
+  }
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, top_inputs));
+  tree.validate();
+  return tree;
+}
+
+void bm_stage3_product_fast(benchmark::State& state) {
+  const sd_fault_tree tree =
+      standby_trains_tree(static_cast<std::size_t>(state.range(0)));
+  const product_options opts;  // lumped + packed (the defaults)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_product_ctmc(tree, opts).num_states());
+  }
+}
+BENCHMARK(bm_stage3_product_fast)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_stage3_product_baseline(benchmark::State& state) {
+  const sd_fault_tree tree =
+      standby_trains_tree(static_cast<std::size_t>(state.range(0)));
+  product_options opts;
+  opts.lump_symmetry = false;
+  opts.packed_state_keys = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_product_ctmc(tree, opts).num_states());
+  }
+}
+BENCHMARK(bm_stage3_product_baseline)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_stage3_transient_early_term(benchmark::State& state) {
+  product_options popts;
+  popts.lump_symmetry = false;  // keep the chain large on purpose
+  const product_ctmc product =
+      build_product_ctmc(standby_trains_tree(8), popts);
+  transient_controls controls;
+  controls.early_termination = state.range(0) != 0;
+  controls.steady_state_detection = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reach_failed_probability(product.chain, 200.0, 1e-10, controls));
+  }
+}
+BENCHMARK(bm_stage3_transient_early_term)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_stage3_quantify_trains(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  const sd_fault_tree tree = standby_trains_tree(6);
+  product_options popts;
+  popts.lump_symmetry = fast;
+  popts.packed_state_keys = fast;
+  transient_controls controls;
+  controls.early_termination = fast;
+  controls.steady_state_detection = fast;
+  for (auto _ : state) {
+    const product_ctmc product = build_product_ctmc(tree, popts);
+    benchmark::DoNotOptimize(
+        reach_failed_probability(product.chain, 96.0, 1e-10, controls));
+  }
+}
+BENCHMARK(bm_stage3_quantify_trains)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
 void bm_generate_industrial(benchmark::State& state) {
   industrial_options opts;
   opts.num_frontline_systems = 12;

@@ -1,7 +1,9 @@
 #include "ctmc/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "ctmc/uniformised.hpp"
 #include "util/error.hpp"
 #include "util/fox_glynn.hpp"
 
@@ -9,57 +11,18 @@ namespace sdft {
 
 namespace {
 
-/// Compressed sparse rows of the uniformised DTMC P = I + R/q, with the
-/// option to make a set of states absorbing (their row becomes the unit
-/// vector, i.e. only the implicit diagonal remains).
-struct uniformised_dtmc {
-  std::size_t n;
-  double q;
-  std::vector<std::size_t> row_start;    // size n+1
-  std::vector<state_index> col;          // off-diagonal targets
-  std::vector<double> value;             // off-diagonal probabilities
-  std::vector<double> diagonal;          // P(s, s)
-
-  uniformised_dtmc(const ctmc& chain, const std::vector<char>& absorbing) {
-    n = chain.num_states();
-    // Slightly inflate q so no diagonal entry is exactly 0; aperiodicity
-    // improves uniformisation convergence.
-    q = chain.max_exit_rate() * 1.02 + 1e-12;
-    row_start.assign(n + 1, 0);
-    diagonal.assign(n, 1.0);
-    for (state_index s = 0; s < n; ++s) {
-      row_start[s] = col.size();
-      if (absorbing[s]) continue;
-      double exit = 0.0;
-      for (const auto& [target, rate] : chain.transitions_from(s)) {
-        col.push_back(target);
-        value.push_back(rate / q);
-        exit += rate;
-      }
-      diagonal[s] = 1.0 - exit / q;
-    }
-    row_start[n] = col.size();
-  }
-
-  /// out = in * P (distribution-vector times matrix).
-  void step(const std::vector<double>& in, std::vector<double>& out) const {
-    for (std::size_t s = 0; s < n; ++s) out[s] = in[s] * diagonal[s];
-    for (std::size_t s = 0; s < n; ++s) {
-      const double mass = in[s];
-      if (mass == 0.0) continue;
-      for (std::size_t k = row_start[s]; k < row_start[s + 1]; ++k) {
-        out[col[k]] += mass * value[k];
-      }
-    }
-  }
-};
-
 std::vector<double> transient_impl(const ctmc& chain,
                                    const std::vector<char>& absorbing,
-                                   double t, double epsilon) {
+                                   double t, double epsilon,
+                                   const transient_controls& controls) {
   require_model(t >= 0.0 && std::isfinite(t),
                 "transient analysis requires a finite horizon t >= 0");
   chain.validate();
+
+  transient_stats local_stats;
+  transient_stats& stats =
+      controls.stats != nullptr ? *controls.stats : local_stats;
+  stats = {};
 
   const std::size_t n = chain.num_states();
   std::vector<double> current(n);
@@ -70,18 +33,95 @@ std::vector<double> transient_impl(const ctmc& chain,
   if (dtmc.q * t < 1e-300) return current;
 
   const poisson_window window = fox_glynn(dtmc.q * t, epsilon);
+  stats.steps_planned = window.right;
+  stats.steps_taken = window.right;
+
+  // Each cutoff below may add at most this much to the truncation error,
+  // keeping the total well inside the requested epsilon.
+  const double cutoff = epsilon * 1e-2;
+
+  // Frontier bookkeeping: `reached` lists the states carrying probability
+  // mass, `live` the subset with off-diagonal rows (the only states the
+  // SpMV has to read). Both only grow: the inflated uniformisation rate
+  // keeps every diagonal positive, so mass never drains out of a state.
+  std::vector<char> in_reached(n, 0);
+  std::vector<state_index> reached;
+  std::vector<state_index> live;
+  const auto touch = [&](state_index s) {
+    if (in_reached[s]) return;
+    in_reached[s] = 1;
+    reached.push_back(s);
+    if (!dtmc.absorbing_row(s)) live.push_back(s);
+  };
+  for (state_index s = 0; s < n; ++s) {
+    if (current[s] > 0.0) touch(s);
+  }
 
   std::vector<double> result(n, 0.0);
-  std::vector<double> next(n, 0.0);
+  std::vector<double> next(n, 0.0);  // zero outside `reached`, always
+  double weight_done = 0.0;
+
   for (std::size_t k = 0; k <= window.right; ++k) {
-    if (k >= window.left) {
-      const double w = window.weight(k);
-      for (std::size_t s = 0; s < n; ++s) result[s] += w * current[s];
+    const double w = k >= window.left ? window.weight(k) : 0.0;
+    if (w != 0.0) {
+      for (state_index s : reached) result[s] += w * current[s];
+      weight_done += w;
     }
-    if (k < window.right) {
-      dtmc.step(current, next);
-      current.swap(next);
+    if (k == window.right) break;
+    const double tail = std::max(0.0, 1.0 - weight_done);
+
+    if (controls.early_termination) {
+      // Mass on absorbing states grows monotonically, so freezing the
+      // distribution under-counts each result entry by at most the live
+      // mass that could still be absorbed, weighted by the Poisson tail.
+      double live_mass = 0.0;
+      for (state_index s : live) live_mass += current[s];
+      if (tail * live_mass < cutoff) {
+        for (state_index s : reached) result[s] += tail * current[s];
+        stats.early_terminated = true;
+        stats.steps_taken = k;
+        return result;
+      }
     }
+
+    // One SpMV step, restricted to the live frontier. `next` is all-zero
+    // outside `reached` by the sweep at the bottom of the loop, so newly
+    // touched targets accumulate from a clean slot.
+    stats.peak_frontier = std::max(stats.peak_frontier, live.size());
+    for (state_index s : live) next[s] = current[s] * dtmc.diagonal[s];
+    for (state_index s : reached) {
+      if (dtmc.absorbing_row(s)) next[s] = current[s];
+    }
+    const std::size_t live_before = live.size();
+    for (std::size_t i = 0; i < live_before; ++i) {
+      const state_index s = live[i];
+      const double mass = current[s];
+      if (mass == 0.0) continue;
+      for (std::size_t e = dtmc.row_start[s]; e < dtmc.row_start[s + 1];
+           ++e) {
+        touch(dtmc.col[e]);
+        next[dtmc.col[e]] += mass * dtmc.value[e];
+      }
+    }
+
+    if (controls.steady_state_detection) {
+      // P is stochastic, so iteration contracts in L1: once one step
+      // moves the iterate by delta, m further steps move it by at most
+      // m * delta. Freeze when the whole remaining run stays under the
+      // cutoff.
+      double delta = 0.0;
+      for (state_index s : reached) delta += std::abs(next[s] - current[s]);
+      const double remaining = static_cast<double>(window.right - k - 1);
+      if (delta * remaining < cutoff) {
+        for (state_index s : reached) result[s] += tail * next[s];
+        stats.steady_state = true;
+        stats.steps_taken = k + 1;
+        return result;
+      }
+    }
+
+    current.swap(next);
+    for (state_index s : reached) next[s] = 0.0;
   }
   return result;
 }
@@ -89,16 +129,18 @@ std::vector<double> transient_impl(const ctmc& chain,
 }  // namespace
 
 std::vector<double> transient_distribution(const ctmc& chain, double t,
-                                           double epsilon) {
+                                           double epsilon,
+                                           const transient_controls& controls) {
   const std::vector<char> none(chain.num_states(), 0);
-  return transient_impl(chain, none, t, epsilon);
+  return transient_impl(chain, none, t, epsilon, controls);
 }
 
 double reach_probability(const ctmc& chain, const std::vector<char>& target,
-                         double t, double epsilon) {
+                         double t, double epsilon,
+                         const transient_controls& controls) {
   require_model(target.size() == chain.num_states(),
                 "reach_probability: target flag vector has wrong size");
-  const auto dist = transient_impl(chain, target, t, epsilon);
+  const auto dist = transient_impl(chain, target, t, epsilon, controls);
   double p = 0.0;
   for (state_index s = 0; s < chain.num_states(); ++s) {
     if (target[s]) p += dist[s];
@@ -106,12 +148,13 @@ double reach_probability(const ctmc& chain, const std::vector<char>& target,
   return p;
 }
 
-double reach_failed_probability(const ctmc& chain, double t, double epsilon) {
+double reach_failed_probability(const ctmc& chain, double t, double epsilon,
+                                const transient_controls& controls) {
   std::vector<char> target(chain.num_states(), 0);
   for (state_index s = 0; s < chain.num_states(); ++s) {
     target[s] = chain.failed(s) ? 1 : 0;
   }
-  return reach_probability(chain, target, t, epsilon);
+  return reach_probability(chain, target, t, epsilon, controls);
 }
 
 }  // namespace sdft

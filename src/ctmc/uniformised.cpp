@@ -1,0 +1,51 @@
+#include "ctmc/uniformised.hpp"
+
+namespace sdft {
+
+uniformised_dtmc::uniformised_dtmc(const ctmc& chain,
+                                   const std::vector<char>& absorbing) {
+  n = chain.num_states();
+  // Slightly inflate q so no diagonal entry is exactly 0; aperiodicity
+  // improves uniformisation convergence.
+  q = chain.max_exit_rate() * 1.02 + 1e-12;
+
+  // Counting pass: row s contributes its off-diagonal entry count, with
+  // absorbing rows contributing nothing. The prefix sum turns the counts
+  // into row offsets, so every row — including skipped absorbing ones —
+  // has a well-defined, monotone [row_start[s], row_start[s+1]) range.
+  row_start.assign(n + 1, 0);
+  for (state_index s = 0; s < n; ++s) {
+    row_start[s + 1] = absorbing[s] ? 0 : chain.transitions_from(s).size();
+  }
+  for (std::size_t s = 0; s < n; ++s) row_start[s + 1] += row_start[s];
+
+  col.resize(row_start[n]);
+  value.resize(row_start[n]);
+  diagonal.assign(n, 1.0);
+  for (state_index s = 0; s < n; ++s) {
+    if (absorbing[s]) continue;
+    std::size_t k = row_start[s];
+    double exit = 0.0;
+    for (const auto& [target, rate] : chain.transitions_from(s)) {
+      col[k] = target;
+      value[k] = rate / q;
+      exit += rate;
+      ++k;
+    }
+    diagonal[s] = 1.0 - exit / q;
+  }
+}
+
+void uniformised_dtmc::step(const std::vector<double>& in,
+                            std::vector<double>& out) const {
+  for (std::size_t s = 0; s < n; ++s) out[s] = in[s] * diagonal[s];
+  for (std::size_t s = 0; s < n; ++s) {
+    const double mass = in[s];
+    if (mass == 0.0) continue;
+    for (std::size_t k = row_start[s]; k < row_start[s + 1]; ++k) {
+      out[col[k]] += mass * value[k];
+    }
+  }
+}
+
+}  // namespace sdft

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace sdft {
+
+/// Compressed sparse rows of the uniformised DTMC P = I + R/q of a CTMC,
+/// with the option to make a set of states absorbing (their row becomes
+/// the unit vector, i.e. only the implicit diagonal remains).
+///
+/// Construction runs an explicit counting pass first, so row_start is
+/// monotone by construction: row_start[s+1] - row_start[s] is the number
+/// of off-diagonal entries of row s (0 for absorbing rows), and
+/// row_start[n] == col.size() == value.size().
+struct uniformised_dtmc {
+  std::size_t n = 0;
+  double q = 0;
+  std::vector<std::size_t> row_start;  ///< size n+1, non-decreasing
+  std::vector<state_index> col;        ///< off-diagonal targets
+  std::vector<double> value;           ///< off-diagonal probabilities
+  std::vector<double> diagonal;        ///< P(s, s); 1 for absorbing rows
+
+  uniformised_dtmc(const ctmc& chain, const std::vector<char>& absorbing);
+
+  /// True iff row s is the unit vector: no off-diagonal entries. Covers
+  /// both explicitly-absorbing states and states without any outgoing
+  /// rate (e.g. failed product states that were never expanded).
+  bool absorbing_row(state_index s) const {
+    return row_start[s] == row_start[s + 1];
+  }
+
+  /// out = in * P (distribution-vector times matrix), dense over all
+  /// states. The frontier-restricted variant lives in the transient
+  /// solver; this one is the reference used by tests.
+  void step(const std::vector<double>& in, std::vector<double>& out) const;
+};
+
+}  // namespace sdft

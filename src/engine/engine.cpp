@@ -55,6 +55,9 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
   qopts.epsilon = options_.epsilon;
   qopts.max_product_states = options_.max_product_states;
   qopts.mode = options_.mode;
+  qopts.lump_symmetry = options_.lump_symmetry;
+  qopts.packed_state_keys = options_.packed_state_keys;
+  qopts.transient_early_termination = options_.transient_early_termination;
   const static_product_quantifier static_quantifier(tree);
   const product_chain_quantifier chain_quantifier(
       tree, translation, qopts,
@@ -86,6 +89,16 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
     }
     ++stats.dynamic_cutsets;
     ++result.num_dynamic_cutsets;
+    stats.lumped_orbits += q.lumped_orbits;
+    if (q.lumped_orbits > 0) ++stats.lumped_cutsets;
+    stats.uniformisation_steps_saved += q.steps_saved;
+    if (q.chain_states > 0 || q.cache_hit) {
+      if (q.packed_keys) {
+        ++stats.packed_key_chains;
+      } else {
+        ++stats.vector_key_chains;
+      }
+    }
     const std::size_t events = q.num_dynamic + q.num_added_dynamic;
     if (result.dynamic_events_histogram.size() <= events) {
       result.dynamic_events_histogram.resize(events + 1, 0);

@@ -55,6 +55,14 @@ struct analysis_options {
   /// their mcs_model, so cutsets sharing dynamic sub-structure reuse the
   /// solve and only multiply their static factors.
   bool cache_quantifications = true;
+
+  /// Stage-3 fast paths (on by default; disable to reproduce the baseline
+  /// behaviour bit-for-bit): lump exchangeable components of each product
+  /// chain, key exploration by packed 64-bit states, and terminate
+  /// uniformisation early once the residual is provably below epsilon.
+  bool lump_symmetry = true;
+  bool packed_state_keys = true;
+  bool transient_early_termination = true;
 };
 
 /// Result of the full SD analysis.

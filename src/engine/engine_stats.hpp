@@ -30,6 +30,14 @@ struct engine_stats {
   std::size_t dynamic_cutsets = 0;   ///< quantified via a product chain
   std::size_t failed_quantifications = 0;  ///< conservative fallbacks
 
+  // Stage-3 fast-path counters (summed over dynamic cutsets; cache hits
+  // contribute the counters recorded when their entry was solved).
+  std::size_t lumped_orbits = 0;      ///< symmetry orbits actually lumped
+  std::size_t lumped_cutsets = 0;     ///< cutsets whose chain was lumped
+  std::size_t packed_key_chains = 0;  ///< chains explored via 64-bit keys
+  std::size_t vector_key_chains = 0;  ///< chains on the vector-key fallback
+  std::size_t uniformisation_steps_saved = 0;  ///< early-terminated steps
+
   // Quantification-cache counters (this run only).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;

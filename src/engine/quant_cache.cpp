@@ -50,13 +50,14 @@ void put_dynamic_model(std::string& out, const dynamic_model& model) {
 }  // namespace
 
 std::string mcs_model_signature(const mcs_model& model, double horizon,
-                                double epsilon) {
+                                double epsilon, bool lump_symmetry) {
   const sd_fault_tree& tree = model.tree;
   const fault_tree& ft = tree.structure();
   std::string out;
   out.reserve(256);
   put_f64(out, horizon);
   put_f64(out, epsilon);
+  out.push_back(lump_symmetry ? 'L' : 'l');
   put_u32(out, static_cast<std::uint32_t>(ft.size()));
   put_u32(out, ft.top());
   // FT_C construction is deterministic, so serialising nodes in index

@@ -15,12 +15,14 @@ namespace sdft {
 /// full FT_C structure (gate types and wiring), the numeric content of
 /// every basic event (static probability, or the complete CTMC /
 /// triggered-CTMC definition), the trigger edges, and the solver inputs
-/// (horizon, epsilon). Everything that determines the product-chain
-/// probability is encoded byte-exactly; names and the static_factor are
-/// deliberately excluded, so cutsets that share dynamic sub-structure but
-/// differ in their static events map to the same key.
+/// (horizon, epsilon, and whether symmetry lumping is enabled — lumped and
+/// unlumped solves agree only up to roundoff, so they must not alias).
+/// Everything that determines the product-chain probability is encoded
+/// byte-exactly; names and the static_factor are deliberately excluded, so
+/// cutsets that share dynamic sub-structure but differ in their static
+/// events map to the same key.
 std::string mcs_model_signature(const mcs_model& model, double horizon,
-                                double epsilon);
+                                double epsilon, bool lump_symmetry = true);
 
 /// Thread-safe memoisation of product-chain transient solves, keyed by
 /// mcs_model_signature(). Stores the *chain* failure probability (before
@@ -35,6 +37,11 @@ class quantification_cache {
   struct entry {
     double chain_probability = 0;  ///< Pr[Reach<=t(Failed)] of the chain
     std::size_t chain_states = 0;  ///< product chain size
+    // Fast-path counters of the original solve, replayed on every hit so
+    // engine_stats aggregates stay meaningful under memoisation.
+    std::size_t lumped_orbits = 0;
+    std::size_t steps_saved = 0;
+    bool packed_keys = false;
   };
 
   /// Returns the cached solve, counting a hit/miss.

@@ -46,10 +46,14 @@ cutset_result product_chain_quantifier::quantify(cutset c) const {
 
     std::string key;
     if (cache_ != nullptr) {
-      key = mcs_model_signature(model, options_.horizon, options_.epsilon);
+      key = mcs_model_signature(model, options_.horizon, options_.epsilon,
+                                options_.lump_symmetry);
       if (const auto cached = cache_->find(key)) {
         out.cache_hit = true;
         out.chain_states = cached->chain_states;
+        out.lumped_orbits = cached->lumped_orbits;
+        out.steps_saved = cached->steps_saved;
+        out.packed_keys = cached->packed_keys;
         out.probability = cached->chain_probability * model.static_factor;
         out.seconds = timer.seconds();
         return out;
@@ -58,18 +62,33 @@ cutset_result product_chain_quantifier::quantify(cutset c) const {
 
     product_options popts;
     popts.max_states = options_.max_product_states;
+    popts.packed_state_keys = options_.packed_state_keys;
+    popts.lump_symmetry = options_.lump_symmetry;
     const product_ctmc product = build_product_ctmc(model.tree, popts);
     out.chain_states = product.num_states();
-    const double chain_probability =
-        reach_failed_probability(product.chain, options_.horizon,
-                                 options_.epsilon);
+    out.lumped_orbits = product.lumped_orbits;
+    out.packed_keys = product.packed_keys;
+    transient_stats tstats;
+    transient_controls tctrl;
+    tctrl.early_termination = options_.transient_early_termination;
+    tctrl.steady_state_detection = options_.transient_early_termination;
+    tctrl.stats = &tstats;
+    const double chain_probability = reach_failed_probability(
+        product.chain, options_.horizon, options_.epsilon, tctrl);
+    out.steps_saved = tstats.steps_saved();
     if (cache_ != nullptr) {
-      cache_->store(key, {chain_probability, out.chain_states});
+      cache_->store(key, {chain_probability, out.chain_states,
+                          out.lumped_orbits, out.steps_saved,
+                          out.packed_keys});
     }
     out.probability = chain_probability * model.static_factor;
   } catch (const error& e) {
     // Conservative fallback: the FT-bar product of worst-case
-    // probabilities bounds p-tilde(C) from above (paper eq. (1)).
+    // probabilities bounds p-tilde(C) from above (paper eq. (1)). The
+    // cache is deliberately bypassed on this path — only successful exact
+    // solves are stored (store() above is unreachable once we land here),
+    // so a later retry with a larger state budget re-attempts the solve
+    // instead of replaying the bound.
     out.error = e.what();
     double p = 1.0;
     for (node_index b : out.events) {

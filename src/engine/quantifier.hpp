@@ -20,7 +20,10 @@ struct cutset_result {
   std::size_t num_dynamic = 0;        ///< dynamic events in C
   std::size_t num_added_dynamic = 0;  ///< dynamic events added by triggering
   std::size_t chain_states = 0;       ///< product chain size (dynamic only)
-  double seconds = 0;                 ///< quantification wall time
+  std::size_t lumped_orbits = 0;      ///< symmetry orbits lumped in the chain
+  std::size_t steps_saved = 0;        ///< uniformisation steps early-skipped
+  bool packed_keys = false;  ///< chain explored via the packed 64-bit key
+  double seconds = 0;        ///< quantification wall time
   std::string error;  ///< non-empty if quantification fell back (see above)
 };
 
@@ -30,6 +33,12 @@ struct quantify_options {
   double epsilon = 1e-10;
   std::size_t max_product_states = 2'000'000;
   approx_mode mode = approx_mode::as_classified;
+
+  /// Stage-3 fast-path toggles (see product_options and
+  /// transient_controls); on by default, off reproduces the slow paths.
+  bool lump_symmetry = true;
+  bool packed_state_keys = true;
+  bool transient_early_termination = true;
 };
 
 /// Stage-3 interface of the engine: quantifies one minimal cutset (given

@@ -9,7 +9,7 @@
 
 namespace sdft {
 
-/// Options bounding the product construction.
+/// Options bounding and tuning the product construction.
 struct product_options {
   /// Hard cap on consistent product states; exceeded -> numeric_error.
   std::size_t max_states = 2'000'000;
@@ -17,12 +17,27 @@ struct product_options {
   /// Hard cap on initial-support combinations (they multiply over events
   /// with more than one initially-supported local state).
   std::size_t max_initial_support = 1'000'000;
+
+  /// Key the exploration's state index by the packed 64-bit encoding when
+  /// the per-component local-state bits fit into one word; falls back to
+  /// the vector key automatically when they overflow 64 bits.
+  bool packed_state_keys = true;
+
+  /// Lump exchangeable components: byte-identical local chains sitting in
+  /// symmetric positions (same parent gates, same trigger gate or both
+  /// untriggered) are explored up to permutation, i.e. the state space is
+  /// the quotient keyed by per-orbit local-state counts. Turns the
+  /// exponential product over k identical trains into a polynomial one.
+  /// Ignored in attribution mode, which needs per-component identity for
+  /// its cause-split sinks.
+  bool lump_symmetry = true;
 };
 
 /// The product Markov chain C_FT of an SD fault tree (paper §III-C):
 /// one CTMC state per *consistent* reachable product of local basic-event
-/// states, with trigger updates folded into transitions and into the
-/// initial distribution.
+/// states (per orbit-count class of those when symmetry lumping applies),
+/// with trigger updates folded into transitions and into the initial
+/// distribution.
 struct product_ctmc {
   ctmc chain;
 
@@ -30,10 +45,34 @@ struct product_ctmc {
   /// state occupies position i of every product state.
   std::vector<node_index> events;
 
-  /// states[s][i] is the local chain state of events[i] in product state s.
-  std::vector<std::vector<std::uint16_t>> states;
+  /// Arena-backed local-state storage: product state s occupies
+  /// locals[s * stride .. (s + 1) * stride). Attribution sinks hold the
+  /// sentinel 0xffff in every slot (local chains are capped below 0xffff
+  /// states, so the sentinel never collides with a real local state).
+  std::vector<std::uint16_t> locals;
+  std::size_t stride = 0;
 
-  std::size_t num_states() const { return states.size(); }
+  // Construction instrumentation.
+  bool packed_keys = false;           ///< exploration used the 64-bit key
+  std::size_t lumped_orbits = 0;      ///< orbits with >= 2 members
+  std::size_t lumped_components = 0;  ///< components inside those orbits
+
+  std::size_t num_states() const { return chain.num_states(); }
+
+  /// The local states of product state s (length stride).
+  const std::uint16_t* state(state_index s) const {
+    return locals.data() + static_cast<std::size_t>(s) * stride;
+  }
+
+  std::vector<std::uint16_t> state_vector(state_index s) const {
+    const std::uint16_t* p = state(s);
+    return std::vector<std::uint16_t>(p, p + stride);
+  }
+
+  /// True for the per-component absorbing sinks of attribution mode.
+  bool is_sink(state_index s) const {
+    return stride > 0 && state(s)[0] == 0xffff;
+  }
 };
 
 /// Builds the reachable consistent product chain of `tree`. Static basic
@@ -44,7 +83,8 @@ product_ctmc build_product_ctmc(const sd_fault_tree& tree,
 
 /// The exact semantics of an SD fault tree: Pr[Reach<=t(F)] in the product
 /// chain (paper §III-C2). This is the reference the MCS-based analysis is
-/// validated against; it is exponential in the number of basic events.
+/// validated against; it is exponential in the number of basic events
+/// (polynomial in each orbit of exchangeable ones when lumping applies).
 double exact_failure_probability(const sd_fault_tree& tree, double t,
                                  double epsilon = 1e-10,
                                  const product_options& options = {});
@@ -53,7 +93,9 @@ double exact_failure_probability(const sd_fault_tree& tree, double t,
 /// basic event, the probability that the transition completing the failure
 /// (the last event to fail, in the order-aware sense of minimal cut
 /// sequences) belongs to that event. Computed exactly on a product chain
-/// whose failed states are split into per-cause absorbing sinks.
+/// whose failed states are split into per-cause absorbing sinks. Symmetry
+/// lumping is always disabled here (sinks are per concrete component);
+/// exchangeable components therefore receive identical masses.
 struct attribution_result {
   /// completing event -> probability its transition caused first failure.
   std::unordered_map<node_index, double> by_event;

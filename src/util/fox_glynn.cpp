@@ -67,6 +67,7 @@ poisson_window fox_glynn(double lambda, double epsilon) {
     const double next_lo_log =
         lo == 0 ? -HUGE_VAL
                 : log_lo + std::log(static_cast<double>(lo)) - std::log(lambda);
+    const double before = mass;
     if (next_hi_log >= next_lo_log) {
       ++hi;
       log_hi = next_hi_log;
@@ -78,6 +79,12 @@ poisson_window fox_glynn(double lambda, double epsilon) {
       left_logs.push_back(log_lo);
       mass += std::exp(log_lo);
     }
+    // For epsilons near the accumulation roundoff (~n * 2^-52) the
+    // remaining terms can underflow against the running sum before the
+    // target is met; the window then already holds every term that is
+    // representable next to the others, and normalisation below absorbs
+    // the shortfall.
+    if (mass == before) break;
     if (hi > mode + 100000000) {
       throw numeric_error("fox_glynn: window failed to converge");
     }

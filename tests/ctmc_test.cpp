@@ -5,6 +5,7 @@
 #include "ctmc/ctmc.hpp"
 #include "ctmc/transient.hpp"
 #include "ctmc/triggered.hpp"
+#include "ctmc/uniformised.hpp"
 #include "test_models.hpp"
 #include "util/error.hpp"
 
@@ -190,6 +191,146 @@ TEST(Triggered, WorstCaseOfErlangMatchesActiveChain) {
   const ctmc active = make_erlang_active(2, 0.02, 0.05);
   EXPECT_NEAR(worst_case_failure_probability(trig, 24.0),
               reach_failed_probability(active, 24.0), 1e-10);
+}
+
+// --- Uniformised CSR (explicit counting pass) ----------------------------
+
+TEST(Uniformised, RowStartIsMonotoneAndConsistent) {
+  // Mixed chain: a transient state, an absorbing-by-flag state with
+  // outgoing rates (they must be dropped), and a rateless state.
+  ctmc chain(4);
+  chain.set_initial(0, 1.0);
+  chain.add_rate(0, 1, 0.5);
+  chain.add_rate(0, 2, 0.25);
+  chain.add_rate(1, 0, 1.0);
+  chain.add_rate(1, 3, 2.0);
+  chain.add_rate(2, 3, 0.125);  // dropped: state 2 is made absorbing
+  const std::vector<char> absorbing = {0, 0, 1, 0};
+  const uniformised_dtmc dtmc(chain, absorbing);
+
+  ASSERT_EQ(dtmc.row_start.size(), chain.num_states() + 1);
+  EXPECT_EQ(dtmc.row_start.front(), 0u);
+  for (std::size_t s = 0; s < chain.num_states(); ++s) {
+    EXPECT_LE(dtmc.row_start[s], dtmc.row_start[s + 1]) << "row " << s;
+  }
+  EXPECT_EQ(dtmc.row_start.back(), dtmc.col.size());
+  EXPECT_EQ(dtmc.col.size(), dtmc.value.size());
+
+  // Row populations: 2 entries for state 0, 2 for state 1, none for the
+  // absorbing state 2 or the rateless state 3.
+  EXPECT_EQ(dtmc.row_start[1] - dtmc.row_start[0], 2u);
+  EXPECT_EQ(dtmc.row_start[2] - dtmc.row_start[1], 2u);
+  EXPECT_TRUE(dtmc.absorbing_row(2));
+  EXPECT_TRUE(dtmc.absorbing_row(3));
+  EXPECT_FALSE(dtmc.absorbing_row(0));
+}
+
+TEST(Uniformised, RowsAreStochasticAndAbsorbingRowsAreUnitVectors) {
+  ctmc chain(3);
+  chain.set_initial(0, 1.0);
+  chain.set_failed(2);
+  chain.add_rate(0, 1, 0.4);
+  chain.add_rate(1, 2, 0.7);
+  chain.add_rate(2, 0, 0.9);  // repair out of the failed state
+  const std::vector<char> absorbing = {0, 0, 1};
+  const uniformised_dtmc dtmc(chain, absorbing);
+
+  for (state_index s = 0; s < chain.num_states(); ++s) {
+    double row_sum = dtmc.diagonal[s];
+    for (std::size_t k = dtmc.row_start[s]; k < dtmc.row_start[s + 1]; ++k) {
+      EXPECT_GE(dtmc.value[k], 0.0);
+      row_sum += dtmc.value[k];
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-12) << "row " << s;
+    EXPECT_LE(row_sum, 1.0 + 1e-12) << "row " << s;
+  }
+  // The absorbing row keeps all its mass on the diagonal.
+  EXPECT_DOUBLE_EQ(dtmc.diagonal[2], 1.0);
+  EXPECT_TRUE(dtmc.absorbing_row(2));
+}
+
+TEST(Uniformised, DenseStepPreservesMass) {
+  const ctmc chain = testing::example2_pump2(0.3, 0.7).chain;
+  const std::vector<char> none(chain.num_states(), 0);
+  const uniformised_dtmc dtmc(chain, none);
+  std::vector<double> in(chain.num_states(), 0.0);
+  in[2] = 0.75;
+  in[3] = 0.25;
+  std::vector<double> out(chain.num_states(), 0.0);
+  dtmc.step(in, out);
+  double mass = 0.0;
+  for (double v : out) mass += v;
+  EXPECT_NEAR(mass, 1.0 * 0.75 + 1.0 * 0.25, 1e-14);
+}
+
+// --- Early termination and steady-state detection ------------------------
+
+TEST(Transient, EarlyTerminationMatchesFullRunOnAbsorption) {
+  // Long horizon: everything is absorbed long before the Poisson window
+  // closes, so the absorbed-mass bound must fire and save steps.
+  ctmc chain(2);
+  chain.set_initial(0, 1.0);
+  chain.set_failed(1);
+  chain.add_rate(0, 1, 2.0);
+  const double t = 500.0;
+
+  transient_stats stats;
+  transient_controls on;
+  on.stats = &stats;
+  const double fast = reach_failed_probability(chain, t, 1e-10, on);
+
+  transient_controls off;
+  off.early_termination = false;
+  off.steady_state_detection = false;
+  const double slow = reach_failed_probability(chain, t, 1e-10, off);
+
+  EXPECT_NEAR(fast, slow, 1e-10);
+  EXPECT_NEAR(fast, 1.0, 1e-9);
+  EXPECT_TRUE(stats.early_terminated || stats.steady_state);
+  EXPECT_GT(stats.steps_saved(), 0u);
+  EXPECT_LT(stats.steps_taken, stats.steps_planned);
+}
+
+TEST(Transient, SteadyStateDetectionOnRepairableChain) {
+  // A fast repairable chain reaches its stationary distribution quickly;
+  // with failed states *not* absorbing (plain transient distribution) the
+  // iterate stops moving and steady-state detection must freeze it.
+  const ctmc chain = make_repairable(4.0, 6.0);
+  const double t = 200.0;
+
+  transient_stats stats;
+  transient_controls on;
+  on.stats = &stats;
+  const auto fast = transient_distribution(chain, t, 1e-10, on);
+
+  transient_controls off;
+  off.early_termination = false;
+  off.steady_state_detection = false;
+  const auto slow = transient_distribution(chain, t, 1e-10, off);
+
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t s = 0; s < fast.size(); ++s) {
+    EXPECT_NEAR(fast[s], slow[s], 1e-10);
+  }
+  // Stationary split is lambda/(lambda+mu) failed.
+  EXPECT_NEAR(fast[1], 4.0 / 10.0, 1e-9);
+  EXPECT_TRUE(stats.steady_state);
+  EXPECT_GT(stats.steps_saved(), 0u);
+}
+
+TEST(Transient, ControlsOffReproducesPlannedStepCount) {
+  const ctmc chain = make_repairable(0.5, 0.25);
+  transient_stats stats;
+  transient_controls off;
+  off.early_termination = false;
+  off.steady_state_detection = false;
+  off.stats = &stats;
+  (void)reach_failed_probability(chain, 8.0, 1e-10, off);
+  EXPECT_EQ(stats.steps_taken, stats.steps_planned);
+  EXPECT_FALSE(stats.early_terminated);
+  EXPECT_FALSE(stats.steady_state);
+  EXPECT_EQ(stats.steps_saved(), 0u);
+  EXPECT_GT(stats.peak_frontier, 0u);
 }
 
 }  // namespace

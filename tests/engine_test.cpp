@@ -210,6 +210,42 @@ TEST(QuantificationCache, SignatureSeparatesHorizons) {
             mcs_model_signature(model, 24.0, 1e-10));
 }
 
+TEST(QuantificationCache, FallbackDoesNotPoisonCache) {
+  // Force the conservative fallback on every dynamic cutset by making the
+  // product state limit impossible to meet: the bound must be returned
+  // deterministically, and nothing may be stored in the cache — a later
+  // engine with a real budget has to re-attempt the exact solve.
+  const sd_fault_tree tree = testing::example3_sd();
+  analysis_options strangled;
+  strangled.max_product_states = 1;
+  analysis_engine engine(strangled);
+
+  const analysis_result first = engine.run(tree);
+  EXPECT_GT(first.stats.failed_quantifications, 0u);
+  EXPECT_EQ(engine.cache().size(), 0u);
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+  EXPECT_GT(first.stats.cache_misses, 0u);
+
+  // Re-running is deterministic and still never hits: the fallback path
+  // is cache-bypassed, not cached-as-zero or cached-as-bound.
+  const analysis_result second = engine.run(tree);
+  EXPECT_EQ(second.failure_probability, first.failure_probability);
+  EXPECT_EQ(second.stats.cache_hits, 0u);
+  EXPECT_EQ(engine.cache().size(), 0u);
+
+  // The bound is conservative: at least the exact probability.
+  const double exact = analyze(tree, analysis_options{}).failure_probability;
+  EXPECT_GE(first.failure_probability, exact);
+
+  // A fresh engine with the default budget solves exactly again — no
+  // poisoned entry can shadow the real solve (misses, then stores).
+  analysis_engine healthy{analysis_options{}};
+  const analysis_result third = healthy.run(tree);
+  EXPECT_EQ(third.stats.failed_quantifications, 0u);
+  EXPECT_GT(healthy.cache().size(), 0u);
+  EXPECT_NEAR(third.failure_probability, exact, 1e-15);
+}
+
 TEST(QuantificationCache, ClearResetsCountersAndEntries) {
   quantification_cache cache;
   cache.store("k", {0.5, 3});

@@ -17,7 +17,7 @@ namespace {
 state_index find_state(const product_ctmc& p,
                        const std::vector<std::uint16_t>& locals) {
   for (state_index s = 0; s < p.num_states(); ++s) {
-    if (p.states[s] == locals) return s;
+    if (p.state_vector(s) == locals) return s;
   }
   return fault_tree::npos;
 }
@@ -45,7 +45,7 @@ class ProductRunningExample : public ::testing::Test {
 TEST_F(ProductRunningExample, AllStatesConsistent) {
   // d must be switched on exactly in states where PUMP1 (a or b) is failed.
   for (state_index s = 0; s < product_.num_states(); ++s) {
-    const auto& locals = product_.states[s];
+    const auto locals = product_.state_vector(s);
     const bool pump1_failed = locals[0] == 1 || locals[1] == 1;
     const bool d_on = locals[3] >= 2;
     EXPECT_EQ(pump1_failed, d_on) << "state " << s;
@@ -188,7 +188,8 @@ TEST(Product, EventOrderCoversAllBasicEvents) {
   const sd_fault_tree tree = testing::example3_sd();
   const product_ctmc p = build_product_ctmc(tree);
   EXPECT_EQ(p.events.size(), 5u);
-  for (const auto& s : p.states) EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(p.stride, 5u);
+  EXPECT_EQ(p.locals.size(), p.num_states() * p.stride);
 }
 
 }  // namespace

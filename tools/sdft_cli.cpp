@@ -59,6 +59,8 @@ struct cli_options {
   bool stats = false;
   cutset_backend backend = cutset_backend::mocus;
   bool cache = true;
+  bool lumping = true;
+  bool early_termination = true;
   std::size_t runs = 100'000;
   std::uint64_t seed = 1;
 };
@@ -70,7 +72,8 @@ struct cli_options {
       "<file>\n"
       "            [--horizon H] [--cutoff C] [--threads N]\n"
       "            [--mode exact|under|over] [--top K] [--details]\n"
-      "            [--backend mocus|bdd] [--no-cache] [--stats]\n");
+      "            [--backend mocus|bdd] [--no-cache] [--stats]\n"
+      "            [--no-lumping] [--no-early-termination]\n");
   std::exit(2);
 }
 
@@ -99,6 +102,10 @@ cli_options parse_args(int argc, char** argv) {
       opt.stats = true;
     } else if (arg == "--no-cache") {
       opt.cache = false;
+    } else if (arg == "--no-lumping") {
+      opt.lumping = false;
+    } else if (arg == "--no-early-termination") {
+      opt.early_termination = false;
     } else if (arg == "--backend") {
       const std::string backend = next();
       if (backend == "mocus") {
@@ -216,6 +223,14 @@ void print_engine_stats(const engine_stats& s) {
   table.add_row({"cutoff discarded", std::to_string(s.source_discarded)});
   table.add_row(
       {"failed quantifications", std::to_string(s.failed_quantifications)});
+  table.add_row({"lumped orbits",
+                 std::to_string(s.lumped_orbits) + " (" +
+                     std::to_string(s.lumped_cutsets) + " cutsets)"});
+  table.add_row({"state keys packed / vector",
+                 std::to_string(s.packed_key_chains) + " / " +
+                     std::to_string(s.vector_key_chains)});
+  table.add_row({"uniformisation steps saved",
+                 std::to_string(s.uniformisation_steps_saved)});
   char rate[32];
   std::snprintf(rate, sizeof rate, "%.1f%%", 100.0 * s.cache_hit_rate());
   table.add_row({"cache hits / misses", std::to_string(s.cache_hits) + " / " +
@@ -243,6 +258,8 @@ int cmd_analyze(const cli_options& opt) {
   aopts.mode = opt.mode;
   aopts.backend = opt.backend;
   aopts.cache_quantifications = opt.cache;
+  aopts.lump_symmetry = opt.lumping;
+  aopts.transient_early_termination = opt.early_termination;
   analysis_engine engine(aopts);
   const analysis_result result = engine.run(tree);
   std::printf("failure probability (p_rea): %s  [horizon %gh]\n",
