@@ -9,9 +9,11 @@
 #include "core/mcs_model.hpp"
 #include "ctmc/transient.hpp"
 #include "ctmc/triggered.hpp"
+#include "engine/engine.hpp"
 #include "gen/bwr.hpp"
 #include "gen/industrial.hpp"
 #include "mcs/mocus.hpp"
+#include "obs/obs.hpp"
 #include "product/product_ctmc.hpp"
 
 namespace {
@@ -206,6 +208,69 @@ BENCHMARK(bm_stage3_quantify_trains)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
+
+// --- Observability overhead (DESIGN.md §11). The acceptance bar is <2%
+// on instrumented pipelines with recording compiled in but disabled; the
+// per-callsite benches below show the absolute cost a disabled span or
+// counter adds, and the engine A/B pair shows it drowning in real work.
+
+void bm_obs_span_disabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::span_scope span("bench.span", "bench");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(bm_obs_span_disabled);
+
+void bm_obs_span_enabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::trace_recorder::instance().clear();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    {
+      obs::span_scope span("bench.span", "bench");
+      benchmark::DoNotOptimize(span.active());
+    }
+    // Bound recorder memory; the clear is amortised out of the hot loop.
+    if (++n % 65536 == 0) obs::trace_recorder::instance().clear();
+  }
+  obs::set_enabled(false);
+  obs::trace_recorder::instance().clear();
+}
+BENCHMARK(bm_obs_span_enabled);
+
+void bm_obs_counter_add(benchmark::State& state) {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("bench.count");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(bm_obs_counter_add);
+
+void bm_engine_obs(benchmark::State& state) {
+  const bool tracing = state.range(0) != 0;
+  obs::set_enabled(tracing);
+  analysis_options aopts;
+  aopts.cutoff = 1e-10;
+  aopts.threads = 1;
+  analysis_engine engine(aopts);
+  for (auto _ : state) {
+    if (tracing) obs::trace_recorder::instance().clear();
+    benchmark::DoNotOptimize(engine.run(bwr_dynamic()).failure_probability);
+  }
+  // Attach the canonical engine metrics to the row, so BENCH_*.json files
+  // carry the same keys as a --metrics-json dump (DESIGN.md §11).
+  const analysis_result last = engine.run(bwr_dynamic());
+  for (const auto& [name, value] : last.stats.metrics()) {
+    state.counters[name] = value;
+  }
+  obs::set_enabled(false);
+  obs::trace_recorder::instance().clear();
+}
+BENCHMARK(bm_engine_obs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void bm_generate_industrial(benchmark::State& state) {
   industrial_options opts;

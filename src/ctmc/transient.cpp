@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ctmc/uniformised.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/fox_glynn.hpp"
 
@@ -80,6 +81,11 @@ std::vector<double> transient_impl(const ctmc& chain,
         for (state_index s : reached) result[s] += tail * current[s];
         stats.early_terminated = true;
         stats.steps_taken = k;
+        if (obs::enabled()) {
+          static obs::counter& c = obs::metrics_registry::global().get_counter(
+              "transient.early_terminated");
+          c.add(1);
+        }
         return result;
       }
     }
@@ -116,6 +122,11 @@ std::vector<double> transient_impl(const ctmc& chain,
         for (state_index s : reached) result[s] += tail * next[s];
         stats.steady_state = true;
         stats.steps_taken = k + 1;
+        if (obs::enabled()) {
+          static obs::counter& c = obs::metrics_registry::global().get_counter(
+              "transient.steady_state_detected");
+          c.add(1);
+        }
         return result;
       }
     }

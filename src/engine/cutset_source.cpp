@@ -1,9 +1,11 @@
 #include "engine/cutset_source.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "bdd/ft_bdd.hpp"
 #include "mcs/mocus.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -28,6 +30,8 @@ void sort_canonically(std::vector<cutset>& sets) {
 std::vector<cutset> map_to_sd(std::vector<cutset> bar_cutsets,
                               const static_translation& translation,
                               thread_pool* pool) {
+  obs::span_scope span("cutsets.map_to_sd", "generate");
+  span.arg("cutsets", static_cast<double>(bar_cutsets.size()));
   std::vector<cutset> out(bar_cutsets.size());
   const auto map_one = [&](std::size_t i) {
     cutset mapped;
@@ -74,14 +78,26 @@ cutset_generation mocus_source::generate(const static_translation& translation,
 cutset_generation bdd_source::generate(const static_translation& translation,
                                        double cutoff,
                                        thread_pool* pool) const {
-  const ft_bdd compiled(translation.ft_bar);
-  std::vector<cutset> kept = compiled.minimal_cutsets();
   cutset_generation out;
-  out.bdd_nodes = compiled.node_count();
+  std::optional<ft_bdd> compiled;
+  {
+    obs::span_scope compile_span("bdd.compile", "generate");
+    compiled.emplace(translation.ft_bar);
+    out.bdd_nodes = compiled->node_count();
+    compile_span.arg("nodes", static_cast<double>(out.bdd_nodes));
+  }
+  std::vector<cutset> kept;
+  {
+    obs::span_scope cutset_span("bdd.cutsets", "generate");
+    kept = compiled->minimal_cutsets();
+    cutset_span.arg("cutsets", static_cast<double>(kept.size()));
+  }
+  compiled.reset();
   // MOCUS keeps partials with probability >= cutoff; applying the same
   // predicate to the complete cutset list yields an identical selection,
   // since a cutset's FT-bar product equals its final partial's probability.
   if (cutoff > 0.0) {
+    obs::span_scope filter_span("bdd.filter", "generate");
     const auto below = [&](const cutset& c) {
       return cutset_probability(translation.ft_bar, c) < cutoff;
     };

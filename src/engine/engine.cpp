@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "sdft/translate.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -13,6 +14,7 @@ analysis_engine::analysis_engine(analysis_options options)
 
 analysis_result analysis_engine::run(const sd_fault_tree& tree) {
   const stopwatch total_timer;
+  obs::span_scope run_span("engine.run");
   analysis_result result;
   engine_stats& stats = result.stats;
   const std::size_t cache_hits_before = cache_.hits();
@@ -20,9 +22,12 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
 
   // Stage 1: FT-bar with worst-case probabilities (paper §V-B).
   stopwatch stage_timer;
-  const static_translation translation =
-      translate_to_static(tree, options_.horizon, options_.epsilon,
-                          options_.reference_cutoff);
+  const static_translation translation = [&] {
+    obs::span_scope span("engine.translate");
+    span.arg("events", static_cast<double>(tree.structure().size()));
+    return translate_to_static(tree, options_.horizon, options_.epsilon,
+                               options_.reference_cutoff);
+  }();
   stats.translate_seconds = stage_timer.seconds();
 
   // One pool serves stage 2 (cutset generation) and stage 3
@@ -31,99 +36,131 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
 
   // Stage 2: relevant minimal cutsets through the selected source.
   stage_timer.reset();
-  const std::unique_ptr<cutset_source> source =
-      make_cutset_source(options_.backend);
-  stats.backend = source->name();
-  const pool_counters before_generate = pool.counters();
-  cutset_generation generated =
-      source->generate(translation, options_.cutoff, &pool);
-  const pool_counters after_generate = pool.counters();
-  stats.generate_seconds = stage_timer.seconds();
-  stats.num_cutsets = generated.cutsets.size();
-  stats.source_partials = generated.partials_processed;
-  stats.source_discarded = generated.discarded;
-  stats.bdd_nodes = generated.bdd_nodes;
-  stats.mocus_threads = pool.size();
-  stats.mocus_tasks = after_generate.submitted - before_generate.submitted;
-  stats.mocus_steals = after_generate.stolen - before_generate.stolen;
-  stats.mocus_occupancy = after_generate.occupancy_since(before_generate);
+  cutset_generation generated;
+  {
+    obs::span_scope gen_span("engine.generate");
+    obs::ambient_parent_scope ambient(gen_span.id());
+    const std::unique_ptr<cutset_source> source =
+        make_cutset_source(options_.backend);
+    stats.backend = source->name();
+    const pool_counters before_generate = pool.counters();
+    generated = source->generate(translation, options_.cutoff, &pool);
+    const pool_counters after_generate = pool.counters();
+    stats.generate_seconds = stage_timer.seconds();
+    stats.num_cutsets = generated.cutsets.size();
+    stats.source_partials = generated.partials_processed;
+    stats.source_discarded = generated.discarded;
+    stats.bdd_nodes = generated.bdd_nodes;
+    stats.mocus_threads = pool.size();
+    stats.mocus_tasks = after_generate.submitted - before_generate.submitted;
+    stats.mocus_steals = after_generate.stolen - before_generate.stolen;
+    stats.mocus_occupancy = after_generate.occupancy_since(before_generate);
+    gen_span.arg("cutsets", static_cast<double>(stats.num_cutsets));
+    gen_span.arg("partials", static_cast<double>(stats.source_partials));
+    gen_span.arg("tasks", static_cast<double>(stats.mocus_tasks));
+    gen_span.arg("occupancy", stats.mocus_occupancy);
+  }
 
   // Stage 3: per-cutset quantification, in parallel (paper §V-C).
   stage_timer.reset();
-  quantify_options qopts;
-  qopts.horizon = options_.horizon;
-  qopts.epsilon = options_.epsilon;
-  qopts.max_product_states = options_.max_product_states;
-  qopts.mode = options_.mode;
-  qopts.lump_symmetry = options_.lump_symmetry;
-  qopts.packed_state_keys = options_.packed_state_keys;
-  qopts.transient_early_termination = options_.transient_early_termination;
-  const static_product_quantifier static_quantifier(tree);
-  const product_chain_quantifier chain_quantifier(
-      tree, translation, qopts,
-      options_.cache_quantifications ? &cache_ : nullptr);
-  std::vector<cutset_result> quantified(generated.cutsets.size());
-  stats.pool_threads = pool.size();
-  parallel_for(pool, generated.cutsets.size(), [&](std::size_t i) {
-    cutset c = std::move(generated.cutsets[i]);
-    const quantifier& q = static_quantifier.handles(c)
-                              ? static_cast<const quantifier&>(static_quantifier)
-                              : chain_quantifier;
-    quantified[i] = q.quantify(std::move(c));
-  });
-  stats.quantify_seconds = stage_timer.seconds();
+  {
+    obs::span_scope quant_span("engine.quantify");
+    obs::ambient_parent_scope ambient(quant_span.id());
+    quantify_options qopts;
+    qopts.horizon = options_.horizon;
+    qopts.epsilon = options_.epsilon;
+    qopts.max_product_states = options_.max_product_states;
+    qopts.mode = options_.mode;
+    qopts.lump_symmetry = options_.lump_symmetry;
+    qopts.packed_state_keys = options_.packed_state_keys;
+    qopts.transient_early_termination = options_.transient_early_termination;
+    const static_product_quantifier static_quantifier(tree);
+    const product_chain_quantifier chain_quantifier(
+        tree, translation, qopts,
+        options_.cache_quantifications ? &cache_ : nullptr);
+    result.cutsets.resize(generated.cutsets.size());
+    std::vector<cutset_result>& quantified = result.cutsets;
+    stats.pool_threads = pool.size();
+    const pool_counters before_quantify = pool.counters();
+    parallel_for(pool, generated.cutsets.size(), [&](std::size_t i) {
+      cutset c = std::move(generated.cutsets[i]);
+      const quantifier& q =
+          static_quantifier.handles(c)
+              ? static_cast<const quantifier&>(static_quantifier)
+              : chain_quantifier;
+      quantified[i] = q.quantify(std::move(c));
+    });
+    const pool_counters after_quantify = pool.counters();
+    stats.quantify_seconds = stage_timer.seconds();
+    stats.quantify_tasks = after_quantify.submitted - before_quantify.submitted;
+    stats.quantify_steals = after_quantify.stolen - before_quantify.stolen;
+    stats.quantify_occupancy = after_quantify.occupancy_since(before_quantify);
+    quant_span.arg("tasks", static_cast<double>(stats.quantify_tasks));
+    quant_span.arg("occupancy", stats.quantify_occupancy);
+  }
 
   // Stage 4: rare-event sum over relevant cutsets plus statistics.
   stage_timer.reset();
-  std::size_t dynamic_events_total = 0;
-  std::size_t added_dynamic_total = 0;
-  for (auto& q : quantified) {
-    if (options_.cutoff > 0.0 && q.probability <= options_.cutoff) continue;
-    result.failure_probability += q.probability;
-  }
-  for (auto& q : quantified) {
-    if (!q.error.empty()) ++stats.failed_quantifications;
-    if (!q.dynamic) {
-      ++stats.static_cutsets;
-      continue;
+  {
+    obs::span_scope sum_span("engine.sum");
+    std::vector<cutset_result>& quantified = result.cutsets;
+    std::size_t dynamic_events_total = 0;
+    std::size_t added_dynamic_total = 0;
+    for (auto& q : quantified) {
+      if (options_.cutoff > 0.0 && q.probability <= options_.cutoff) continue;
+      result.failure_probability += q.probability;
     }
-    ++stats.dynamic_cutsets;
-    ++result.num_dynamic_cutsets;
-    stats.lumped_orbits += q.lumped_orbits;
-    if (q.lumped_orbits > 0) ++stats.lumped_cutsets;
-    stats.uniformisation_steps_saved += q.steps_saved;
-    if (q.chain_states > 0 || q.cache_hit) {
-      if (q.packed_keys) {
-        ++stats.packed_key_chains;
-      } else {
-        ++stats.vector_key_chains;
+    for (auto& q : quantified) {
+      if (!q.error.empty()) ++stats.failed_quantifications;
+      if (!q.dynamic) {
+        ++stats.static_cutsets;
+        continue;
       }
+      ++stats.dynamic_cutsets;
+      ++result.num_dynamic_cutsets;
+      stats.lumped_orbits += q.lumped_orbits;
+      if (q.lumped_orbits > 0) ++stats.lumped_cutsets;
+      stats.uniformisation_steps_saved += q.steps_saved;
+      if (q.chain_states > 0 || q.cache_hit) {
+        if (q.packed_keys) {
+          ++stats.packed_key_chains;
+        } else {
+          ++stats.vector_key_chains;
+        }
+      }
+      const std::size_t events = q.num_dynamic + q.num_added_dynamic;
+      if (result.dynamic_events_histogram.size() <= events) {
+        result.dynamic_events_histogram.resize(events + 1, 0);
+      }
+      ++result.dynamic_events_histogram[events];
+      dynamic_events_total += events;
+      added_dynamic_total += q.num_added_dynamic;
     }
-    const std::size_t events = q.num_dynamic + q.num_added_dynamic;
-    if (result.dynamic_events_histogram.size() <= events) {
-      result.dynamic_events_histogram.resize(events + 1, 0);
+    if (result.num_dynamic_cutsets > 0) {
+      result.mean_dynamic_events =
+          static_cast<double>(dynamic_events_total) /
+          static_cast<double>(result.num_dynamic_cutsets);
+      result.mean_added_dynamic_events =
+          static_cast<double>(added_dynamic_total) /
+          static_cast<double>(result.num_dynamic_cutsets);
     }
-    ++result.dynamic_events_histogram[events];
-    dynamic_events_total += events;
-    added_dynamic_total += q.num_added_dynamic;
+    if (!options_.keep_cutset_details) {
+      result.cutsets.clear();
+      result.cutsets.shrink_to_fit();
+    }
+    stats.sum_seconds = stage_timer.seconds();
+    sum_span.arg("dynamic_cutsets", static_cast<double>(stats.dynamic_cutsets));
   }
-  if (result.num_dynamic_cutsets > 0) {
-    result.mean_dynamic_events =
-        static_cast<double>(dynamic_events_total) /
-        static_cast<double>(result.num_dynamic_cutsets);
-    result.mean_added_dynamic_events =
-        static_cast<double>(added_dynamic_total) /
-        static_cast<double>(result.num_dynamic_cutsets);
-  }
-  if (options_.keep_cutset_details) {
-    result.cutsets = std::move(quantified);
-  }
-  stats.sum_seconds = stage_timer.seconds();
 
   stats.cache_hits = cache_.hits() - cache_hits_before;
   stats.cache_misses = cache_.misses() - cache_misses_before;
   stats.cache_entries = cache_.size();
   stats.total_seconds = total_timer.seconds();
+  run_span.arg("cutsets", static_cast<double>(stats.num_cutsets));
+
+  // Publish the run's counters under their canonical registry names so a
+  // --metrics-json dump (or any registry consumer) sees this run.
+  stats.publish(obs::metrics_registry::global());
 
   // Legacy mirrors of the per-stage instrumentation.
   result.num_cutsets = stats.num_cutsets;

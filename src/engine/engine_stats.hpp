@@ -2,12 +2,19 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
 
 namespace sdft {
 
 /// Instrumentation of one analysis_engine run: per-stage wall times,
 /// backend counters and quantification-cache behaviour. Carried inside
-/// analysis_result and printed by `sdft analyze --stats`.
+/// analysis_result, printed by `sdft analyze --stats`, and published into
+/// the obs::metrics_registry under the canonical names returned by
+/// metrics() (the same keys `sdft analyze --metrics-json` and the BENCH_*
+/// exports carry; see DESIGN.md §11).
 struct engine_stats {
   /// Name of the cutset source used ("mocus" or "bdd").
   std::string backend;
@@ -53,12 +60,73 @@ struct engine_stats {
   std::size_t mocus_steals = 0;   ///< jobs taken off another worker's deque
   double mocus_occupancy = 0;     ///< sum(executed) / (workers * max(executed))
 
+  // Stage-3 (quantification) pool activity, snapshotted the same way.
+  std::size_t quantify_tasks = 0;
+  std::size_t quantify_steals = 0;
+  double quantify_occupancy = 0;
+
   /// Hits / (hits + misses); 0 when no dynamic cutset was quantified.
   double cache_hit_rate() const {
     const std::size_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0
                         : static_cast<double>(cache_hits) /
                               static_cast<double>(lookups);
+  }
+
+  /// Every numeric field under its canonical registry name. This list is
+  /// the single source of truth for the metric vocabulary: publish() feeds
+  /// it into the registry, `--metrics-json` dumps it, and the benches
+  /// attach the same keys to their BENCH_* rows.
+  std::vector<std::pair<std::string, double>> metrics() const {
+    const auto n = [](std::size_t v) { return static_cast<double>(v); };
+    return {
+        {"engine.translate_seconds", translate_seconds},
+        {"engine.generate_seconds", generate_seconds},
+        {"engine.quantify_seconds", quantify_seconds},
+        {"engine.sum_seconds", sum_seconds},
+        {"engine.total_seconds", total_seconds},
+        {"engine.cutsets", n(num_cutsets)},
+        {"mocus.partials_expanded", n(source_partials)},
+        {"mocus.cutoff_discarded", n(source_discarded)},
+        {"bdd.nodes", n(bdd_nodes)},
+        {"quant.static_cutsets", n(static_cutsets)},
+        {"quant.dynamic_cutsets", n(dynamic_cutsets)},
+        {"quant.failed", n(failed_quantifications)},
+        {"quant.lumped_orbits", n(lumped_orbits)},
+        {"quant.lumped_cutsets", n(lumped_cutsets)},
+        {"quant.packed_key_chains", n(packed_key_chains)},
+        {"quant.vector_key_chains", n(vector_key_chains)},
+        {"transient.steps_saved", n(uniformisation_steps_saved)},
+        {"quant.cache_hit", n(cache_hits)},
+        {"quant.cache_miss", n(cache_misses)},
+        {"quant.cache_entries", n(cache_entries)},
+        {"quant.cache_hit_rate", cache_hit_rate()},
+        {"pool.threads", n(pool_threads)},
+        {"mocus.threads", n(mocus_threads)},
+        {"mocus.tasks", n(mocus_tasks)},
+        {"mocus.steals", n(mocus_steals)},
+        {"mocus.occupancy", mocus_occupancy},
+        {"quant.tasks", n(quantify_tasks)},
+        {"quant.steals", n(quantify_steals)},
+        {"pool.occupancy", quantify_occupancy},
+    };
+  }
+
+  /// Writes every metric (and the backend label) into `registry`. Seconds
+  /// and rates become gauges, counts become counters, so a --metrics-json
+  /// dump carries every engine_stats field.
+  void publish(obs::metrics_registry& registry) const {
+    for (const auto& [name, value] : metrics()) {
+      const bool is_gauge = name.find("seconds") != std::string::npos ||
+                            name.find("occupancy") != std::string::npos ||
+                            name.find("rate") != std::string::npos;
+      if (is_gauge) {
+        registry.set_gauge(name, value);
+      } else {
+        registry.set_counter(name, static_cast<std::uint64_t>(value));
+      }
+    }
+    registry.set_label("engine.backend", backend);
   }
 };
 

@@ -1,6 +1,7 @@
 #include "engine/quantifier.hpp"
 
 #include "ctmc/transient.hpp"
+#include "obs/obs.hpp"
 #include "product/product_ctmc.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
@@ -36,6 +37,7 @@ bool product_chain_quantifier::handles(const cutset& c) const {
 
 cutset_result product_chain_quantifier::quantify(cutset c) const {
   const stopwatch timer;
+  obs::span_scope span("quant.mcs", "quant");
   cutset_result out;
   out.events = std::move(c);
   out.dynamic = true;
@@ -56,6 +58,8 @@ cutset_result product_chain_quantifier::quantify(cutset c) const {
         out.packed_keys = cached->packed_keys;
         out.probability = cached->chain_probability * model.static_factor;
         out.seconds = timer.seconds();
+        span.arg("cache_hit", 1.0);
+        span.arg("states", static_cast<double>(out.chain_states));
         return out;
       }
     }
@@ -76,6 +80,12 @@ cutset_result product_chain_quantifier::quantify(cutset c) const {
     const double chain_probability = reach_failed_probability(
         product.chain, options_.horizon, options_.epsilon, tctrl);
     out.steps_saved = tstats.steps_saved();
+    if (obs::enabled()) {
+      static obs::counter& steps =
+          obs::metrics_registry::global().get_counter(
+              "transient.uniformisation_steps");
+      steps.add(tstats.steps_taken);
+    }
     if (cache_ != nullptr) {
       cache_->store(key, {chain_probability, out.chain_states,
                           out.lumped_orbits, out.steps_saved,
@@ -101,6 +111,12 @@ cutset_result product_chain_quantifier::quantify(cutset c) const {
     out.probability = p;
   }
   out.seconds = timer.seconds();
+  span.arg("cache_hit", 0.0);
+  span.arg("states", static_cast<double>(out.chain_states));
+  span.arg("lumped_orbits", static_cast<double>(out.lumped_orbits));
+  span.arg("packed", out.packed_keys ? 1.0 : 0.0);
+  span.arg("dynamic_events",
+           static_cast<double>(out.num_dynamic + out.num_added_dynamic));
   return out;
 }
 

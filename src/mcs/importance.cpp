@@ -47,6 +47,13 @@ std::unordered_map<node_index, importance_measures> importance_analysis(
       const double without = total - wa;
       m.rrw = without > 0.0 ? total / without
                             : std::numeric_limits<double>::infinity();
+    } else {
+      // Degenerate top probability: no event contributes anything
+      // (FV = 0), and neither forcing an event on nor off changes a
+      // probability that is already 0 (RAW = RRW = 1).
+      m.fussell_vesely = 0.0;
+      m.raw = 1.0;
+      m.rrw = 1.0;
     }
     out.emplace(b, m);
   }
@@ -57,11 +64,13 @@ std::vector<node_index> rank_by_fussell_vesely(
     const fault_tree& ft, const std::vector<cutset>& cutsets) {
   auto measures = importance_analysis(ft, cutsets);
   std::vector<node_index> events = ft.basic_events();
-  std::stable_sort(events.begin(), events.end(),
-                   [&](node_index a, node_index b) {
-                     return measures[a].fussell_vesely >
-                            measures[b].fussell_vesely;
-                   });
+  std::sort(events.begin(), events.end(), [&](node_index a, node_index b) {
+    const double fa = measures[a].fussell_vesely;
+    const double fb = measures[b].fussell_vesely;
+    // Explicit index tie-break: deterministic whatever order
+    // basic_events() returns.
+    return fa != fb ? fa > fb : a < b;
+  });
   return events;
 }
 

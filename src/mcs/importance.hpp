@@ -23,7 +23,10 @@ struct importance_measures {
 
 /// Computes importance measures for every basic event appearing in
 /// `cutsets`. Events absent from all cutsets get all-zero measures
-/// (rrw = 1). Returns a map keyed by basic-event index.
+/// (raw = rrw = 1). When the top probability itself is 0 (no cutsets, or
+/// every cutset has probability 0) the measures are defined explicitly as
+/// FV = 0, RAW = 1, RRW = 1 for every event. Returns a map keyed by
+/// basic-event index.
 std::unordered_map<node_index, importance_measures> importance_analysis(
     const fault_tree& ft, const std::vector<cutset>& cutsets);
 

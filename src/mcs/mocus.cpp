@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/sorted_set.hpp"
 #include "util/stopwatch.hpp"
@@ -187,6 +188,7 @@ struct expansion {
 /// The original single-threaded driver: an explicit DFS stack and one
 /// visited set cleared at dedup_limit.
 mocus_result run_serial(const expansion& ex, partial_cutset seed) {
+  obs::span_scope span("mocus.serial", "mocus");
   mocus_result result;
   std::vector<partial_cutset> stack;
   std::unordered_set<partial_key, partial_key_hash> visited;
@@ -216,6 +218,8 @@ mocus_result run_serial(const expansion& ex, partial_cutset seed) {
     }
   }
 
+  span.arg("partials", static_cast<double>(result.partials_processed));
+  span.arg("cutsets", static_cast<double>(raw_cutsets.size()));
   result.cutsets = minimize_cutsets(std::move(raw_cutsets));
   return result;
 }
@@ -281,6 +285,9 @@ class parallel_mocus {
   }
 
   void run_task(partial_cutset p) {
+    obs::span_scope span("mocus.task", "mocus");
+    std::size_t batch_partials = 0;
+    std::size_t batch_spilled = 0;
     local_buffers& local = locals_[pool_.worker_index()];
     std::deque<partial_cutset> todo;
     todo.push_back(std::move(p));
@@ -289,6 +296,7 @@ class parallel_mocus {
       if (aborted_.load(std::memory_order_relaxed)) return;
       partial_cutset cur = std::move(todo.back());
       todo.pop_back();
+      ++batch_partials;
       if (processed_.fetch_add(1, std::memory_order_relaxed) >=
           ex_.opt.max_partials) {
         aborted_.store(true, std::memory_order_relaxed);
@@ -310,8 +318,11 @@ class parallel_mocus {
           run_task(std::move(sp));
         });
         todo.pop_front();
+        ++batch_spilled;
       }
     }
+    span.arg("partials", static_cast<double>(batch_partials));
+    span.arg("spilled", static_cast<double>(batch_spilled));
   }
 
   const expansion& ex_;

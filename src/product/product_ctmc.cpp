@@ -12,6 +12,7 @@
 
 #include "ctmc/transient.hpp"
 #include "ft/evaluator.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/fox_glynn.hpp"
 
@@ -488,8 +489,13 @@ class builder {
 
 product_ctmc build_product_ctmc(const sd_fault_tree& tree,
                                 const product_options& options) {
+  obs::span_scope span("product.build", "product");
   tree.validate();
-  return builder(tree, options).build();
+  product_ctmc out = builder(tree, options).build();
+  span.arg("states", static_cast<double>(out.num_states()));
+  span.arg("lumped_orbits", static_cast<double>(out.lumped_orbits));
+  span.arg("packed", out.packed_keys ? 1.0 : 0.0);
+  return out;
 }
 
 double exact_failure_probability(const sd_fault_tree& tree, double t,

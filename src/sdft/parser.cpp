@@ -14,8 +14,19 @@ namespace sdft {
 
 namespace {
 
+constexpr const char* parse_error_prefix = "SD fault tree parse error";
+
+bool has_parse_prefix(const std::string& what) {
+  return what.rfind(parse_error_prefix, 0) == 0;
+}
+
+/// Wraps `what` with the parse prefix and `line` — exactly once. A message
+/// that already carries the prefix was wrapped at an inner (more precise)
+/// line and is rethrown untouched, so nested catch sites can all call
+/// fail() without stacking prefixes.
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw model_error("SD fault tree parse error, line " +
+  if (has_parse_prefix(what)) throw model_error(what);
+  throw model_error(std::string(parse_error_prefix) + ", line " +
                     std::to_string(line) + ": " + what);
 }
 
@@ -74,7 +85,16 @@ dynamic_model parse_chain_block(std::istream& in, std::size_t& line_no,
     if (tok.empty()) continue;
     const std::string& cmd = tok[0];
     if (cmd == "end") {
-      if (to_on.empty() && to_off.empty()) return chain;
+      if (to_on.empty() && to_off.empty()) {
+        // Validate plain chains here, not when the tree later adopts the
+        // model: the error must carry this block's line context.
+        try {
+          chain.validate();
+        } catch (const model_error& e) {
+          fail(line_no, e.what());
+        }
+        return chain;
+      }
 
       // Triggered chain: S_on is exactly the key set of the off map.
       triggered_ctmc model;
@@ -109,8 +129,12 @@ dynamic_model parse_chain_block(std::istream& in, std::size_t& line_no,
     }
     if (cmd == "init") {
       if (tok.size() != 3) fail(line_no, "expected: init <state> <p>");
-      chain.set_initial(parse_index(tok[1], line_no, num_states),
-                        parse_number(tok[2], line_no));
+      try {
+        chain.set_initial(parse_index(tok[1], line_no, num_states),
+                          parse_number(tok[2], line_no));
+      } catch (const model_error& e) {
+        fail(line_no, e.what());
+      }
     } else if (cmd == "failed") {
       if (tok.size() < 2) fail(line_no, "expected: failed <state> ...");
       for (std::size_t i = 1; i < tok.size(); ++i) {
@@ -118,9 +142,13 @@ dynamic_model parse_chain_block(std::istream& in, std::size_t& line_no,
       }
     } else if (cmd == "rate") {
       if (tok.size() != 4) fail(line_no, "expected: rate <from> <to> <l>");
-      chain.add_rate(parse_index(tok[1], line_no, num_states),
-                     parse_index(tok[2], line_no, num_states),
-                     parse_number(tok[3], line_no));
+      try {
+        chain.add_rate(parse_index(tok[1], line_no, num_states),
+                       parse_index(tok[2], line_no, num_states),
+                       parse_number(tok[3], line_no));
+      } catch (const model_error& e) {
+        fail(line_no, e.what());
+      }
     } else if (cmd == "on") {
       if (tok.size() != 3) fail(line_no, "expected: on <off> <on>");
       to_on[parse_index(tok[1], line_no, num_states)] =
@@ -173,23 +201,31 @@ sd_fault_tree parse_sd_fault_tree(std::istream& in) {
         if (tok.size() != 6) {
           fail(line_no, "expected: dyn <name> erlang <k> <lambda> <mu>");
         }
-        tree.add_dynamic_event(
-            tok[1], make_erlang_active(
-                        static_cast<int>(parse_number(tok[3], line_no)),
-                        parse_number(tok[4], line_no),
-                        parse_number(tok[5], line_no)));
+        try {
+          tree.add_dynamic_event(
+              tok[1], make_erlang_active(
+                          static_cast<int>(parse_number(tok[3], line_no)),
+                          parse_number(tok[4], line_no),
+                          parse_number(tok[5], line_no)));
+        } catch (const model_error& e) {
+          fail(line_no, e.what());
+        }
       } else if (kind == "erlang-triggered") {
         if (tok.size() != 7) {
           fail(line_no,
                "expected: dyn <name> erlang-triggered <k> <lambda> <mu> "
                "<passive-factor>");
         }
-        tree.add_dynamic_event(
-            tok[1], make_erlang_triggered(
-                        static_cast<int>(parse_number(tok[3], line_no)),
-                        parse_number(tok[4], line_no),
-                        parse_number(tok[5], line_no),
-                        parse_number(tok[6], line_no)));
+        try {
+          tree.add_dynamic_event(
+              tok[1], make_erlang_triggered(
+                          static_cast<int>(parse_number(tok[3], line_no)),
+                          parse_number(tok[4], line_no),
+                          parse_number(tok[5], line_no),
+                          parse_number(tok[6], line_no)));
+        } catch (const model_error& e) {
+          fail(line_no, e.what());
+        }
       } else if (kind == "chain") {
         if (tok.size() != 4) {
           fail(line_no, "expected: dyn <name> chain <num-states>");
@@ -198,11 +234,17 @@ sd_fault_tree parse_sd_fault_tree(std::istream& in) {
             parse_number(tok[3], line_no));
         if (n == 0) fail(line_no, "chain needs at least one state");
         dynamic_model model = parse_chain_block(in, line_no, n);
-        if (std::holds_alternative<ctmc>(model)) {
-          tree.add_dynamic_event(tok[1], std::get<ctmc>(std::move(model)));
-        } else {
-          tree.add_dynamic_event(
-              tok[1], std::get<triggered_ctmc>(std::move(model)));
+        // Adoption revalidates the model; fail() keeps the inner line of
+        // any error already wrapped inside the chain block.
+        try {
+          if (std::holds_alternative<ctmc>(model)) {
+            tree.add_dynamic_event(tok[1], std::get<ctmc>(std::move(model)));
+          } else {
+            tree.add_dynamic_event(
+                tok[1], std::get<triggered_ctmc>(std::move(model)));
+          }
+        } catch (const model_error& e) {
+          fail(line_no, e.what());
         }
       } else {
         fail(line_no, "unknown dynamic event kind '" + kind + "'");
@@ -255,7 +297,8 @@ sd_fault_tree parse_sd_fault_tree(std::istream& in) {
   try {
     tree.validate();
   } catch (const model_error& e) {
-    throw model_error(std::string("SD fault tree parse error: ") + e.what());
+    if (has_parse_prefix(e.what())) throw;
+    throw model_error(std::string(parse_error_prefix) + ": " + e.what());
   }
   return tree;
 }

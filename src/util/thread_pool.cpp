@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/obs.hpp"
 
 namespace sdft {
 
@@ -129,6 +132,7 @@ std::function<void()> thread_pool::take(std::size_t me) {
 void thread_pool::worker_loop(std::size_t me) {
   tls_pool = this;
   tls_index = me;
+  obs::set_thread_label("pool-worker-" + std::to_string(me));
   for (;;) {
     std::function<void()> job = take(me);
     if (!job) {

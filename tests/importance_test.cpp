@@ -81,5 +81,49 @@ TEST(Importance, EventAbsentFromCutsetsHasZeroImportance) {
   EXPECT_DOUBLE_EQ(measures.at(y).rrw, 1.0);
 }
 
+TEST(Importance, ZeroProbabilityEventsDefineDegenerateMeasures) {
+  // Every cutset has probability 0, so the top probability is 0: the
+  // measures are defined explicitly as FV = 0, RAW = 1, RRW = 1.
+  fault_tree ft;
+  const node_index x = ft.add_basic_event("x", 0.0);
+  const node_index y = ft.add_basic_event("y", 0.0);
+  ft.set_top(ft.add_gate("top", gate_type::or_gate, {x, y}));
+  const auto cuts = mocus(ft).cutsets;
+  ASSERT_FALSE(cuts.empty());
+  const auto measures = importance_analysis(ft, cuts);
+  for (node_index b : {x, y}) {
+    EXPECT_DOUBLE_EQ(measures.at(b).fussell_vesely, 0.0);
+    EXPECT_DOUBLE_EQ(measures.at(b).raw, 1.0);
+    EXPECT_DOUBLE_EQ(measures.at(b).rrw, 1.0);
+  }
+}
+
+TEST(Importance, EmptyCutsetListDefinesDegenerateMeasures) {
+  fault_tree ft;
+  const node_index x = ft.add_basic_event("x", 0.3);
+  const node_index y = ft.add_basic_event("y", 0.3);
+  ft.set_top(ft.add_gate("top", gate_type::and_gate, {x, y}));
+  const auto measures = importance_analysis(ft, {});
+  for (node_index b : {x, y}) {
+    EXPECT_DOUBLE_EQ(measures.at(b).fussell_vesely, 0.0);
+    EXPECT_DOUBLE_EQ(measures.at(b).birnbaum, 0.0);
+    EXPECT_DOUBLE_EQ(measures.at(b).raw, 1.0);
+    EXPECT_DOUBLE_EQ(measures.at(b).rrw, 1.0);
+  }
+}
+
+TEST(Importance, FussellVeselyTiesBreakByEventIndex) {
+  // Four equally probable singleton cutsets: all FV values tie, so the
+  // ranking must fall back to the event index, ascending.
+  fault_tree ft;
+  std::vector<node_index> events;
+  for (const char* name : {"e0", "e1", "e2", "e3"}) {
+    events.push_back(ft.add_basic_event(name, 0.1));
+  }
+  ft.set_top(ft.add_gate("top", gate_type::or_gate, events));
+  const auto ranked = rank_by_fussell_vesely(ft, mocus(ft).cutsets);
+  EXPECT_EQ(ranked, events);
+}
+
 }  // namespace
 }  // namespace sdft

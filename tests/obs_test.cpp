@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "gen/bwr.hpp"
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
+namespace sdft {
+namespace {
+
+// Every test both enables recording and restores the disabled default, so
+// the order of tests within this binary does not matter.
+struct obs_session {
+  obs_session() {
+    obs::set_enabled(true);
+    obs::trace_recorder::instance().clear();
+    obs::metrics_registry::global().reset();
+  }
+  ~obs_session() { obs::set_enabled(false); }
+};
+
+std::vector<obs::span_record> spans_named(
+    const std::vector<obs::span_record>& all, const char* name) {
+  std::vector<obs::span_record> out;
+  for (const auto& s : all) {
+    if (std::strcmp(s.name, name) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(ObsSpans, NestedSpansLinkToEnclosingSpan) {
+  const obs_session session;
+  {
+    obs::span_scope outer("outer", "test");
+    obs::span_scope inner("inner", "test");
+    obs::span_scope leaf("leaf", "test");
+    EXPECT_TRUE(outer.active());
+    EXPECT_NE(outer.id(), 0u);
+  }
+  const auto spans = obs::trace_recorder::instance().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+
+  const auto outer = spans_named(spans, "outer").at(0);
+  const auto inner = spans_named(spans, "inner").at(0);
+  const auto leaf = spans_named(spans, "leaf").at(0);
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(leaf.parent, inner.id);
+
+  std::set<std::uint64_t> ids;
+  for (const auto& s : spans) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id";
+    EXPECT_GE(s.duration_ns, 0u);
+  }
+  // Enclosing spans close last, so they last at least as long as children.
+  EXPECT_GE(outer.duration_ns, inner.duration_ns);
+  EXPECT_GE(inner.duration_ns, leaf.duration_ns);
+}
+
+TEST(ObsSpans, SiblingSpansShareOneParent) {
+  const obs_session session;
+  {
+    obs::span_scope parent("parent", "test");
+    { obs::span_scope a("a", "test"); }
+    { obs::span_scope b("b", "test"); }
+  }
+  const auto spans = obs::trace_recorder::instance().snapshot();
+  const auto parent = spans_named(spans, "parent").at(0);
+  EXPECT_EQ(spans_named(spans, "a").at(0).parent, parent.id);
+  EXPECT_EQ(spans_named(spans, "b").at(0).parent, parent.id);
+}
+
+TEST(ObsSpans, AmbientParentAdoptsSpansOnOtherThreads) {
+  const obs_session session;
+  std::uint64_t stage_id = 0;
+  {
+    obs::span_scope stage("stage", "test");
+    stage_id = stage.id();
+    const obs::ambient_parent_scope ambient(stage.id());
+    std::thread worker([] {
+      obs::set_thread_label("obs-test-worker");
+      obs::span_scope task("task", "test");
+    });
+    worker.join();
+  }
+  const auto spans = obs::trace_recorder::instance().snapshot();
+  const auto task = spans_named(spans, "task").at(0);
+  const auto stage = spans_named(spans, "stage").at(0);
+  EXPECT_EQ(task.parent, stage_id);
+  EXPECT_NE(task.tid, stage.tid);
+
+  const auto labels = obs::trace_recorder::instance().thread_labels();
+  const bool labelled =
+      std::any_of(labels.begin(), labels.end(), [&](const auto& kv) {
+        return kv.first == task.tid && kv.second == "obs-test-worker";
+      });
+  EXPECT_TRUE(labelled);
+}
+
+TEST(ObsSpans, DisabledRecordingKeepsBufferEmpty) {
+  const obs_session session;
+  obs::set_enabled(false);
+  {
+    obs::span_scope span("invisible", "test");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(obs::trace_recorder::instance().size(), 0u);
+}
+
+TEST(ObsSpans, ArgsAreCappedAtCapacity) {
+  const obs_session session;
+  {
+    obs::span_scope span("saturated", "test");
+    for (int i = 0; i < 10; ++i) span.arg("k", static_cast<double>(i));
+  }
+  const auto spans = obs::trace_recorder::instance().snapshot();
+  EXPECT_EQ(spans.at(0).args.count, obs::span_args::capacity);
+}
+
+TEST(ObsSpans, ChromeJsonExportParsesAndCarriesSpanIds) {
+  const obs_session session;
+  {
+    obs::span_scope outer("outer", "test");
+    outer.arg("cutsets", 42.0);
+    obs::span_scope inner("inner", "test");
+  }
+  std::ostringstream out;
+  obs::trace_recorder::instance().write_chrome_json(out);
+
+  const json::value doc = json::parse(out.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").as_array();
+  std::size_t complete = 0;
+  double outer_id = 0.0;
+  for (const auto& e : events) {
+    if (e.at("ph").as_string() != "X") continue;
+    ++complete;
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+    if (e.at("name").as_string() == "outer") {
+      outer_id = e.at("args").at("span_id").as_number();
+      EXPECT_EQ(e.at("args").at("cutsets").as_number(), 42.0);
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  for (const auto& e : events) {
+    if (e.at("ph").as_string() == "X" && e.at("name").as_string() == "inner") {
+      EXPECT_EQ(e.at("args").at("parent_id").as_number(), outer_id);
+    }
+  }
+}
+
+TEST(ObsMetrics, CountersGaugesAndHistograms) {
+  obs::metrics_registry registry;
+  obs::counter& c = registry.get_counter("test.count");
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4u);
+  // Lookup is stable: the same name resolves to the same instrument.
+  EXPECT_EQ(&registry.get_counter("test.count"), &c);
+
+  registry.set_gauge("test.gauge", 0.75);
+  EXPECT_DOUBLE_EQ(registry.get_gauge("test.gauge").value(), 0.75);
+
+  obs::histogram& h = registry.get_histogram("test.hist");
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+
+  registry.set_label("test.label", "mocus");
+  EXPECT_EQ(registry.label("test.label"), "mocus");
+
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(registry.label("test.label"), "");
+}
+
+TEST(ObsMetrics, JsonDumpRoundTripsThroughParser) {
+  obs::metrics_registry registry;
+  registry.get_counter("a.count").add(7);
+  registry.set_gauge("b.gauge", 2.5);
+  registry.get_histogram("c.hist").observe(4.0);
+  registry.set_label("d.label", "bdd");
+
+  const json::value doc = json::parse(registry.to_json());
+  EXPECT_EQ(doc.at("a.count").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("b.gauge").as_number(), 2.5);
+  EXPECT_EQ(doc.at("c.hist").at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("c.hist").at("mean").as_number(), 4.0);
+  EXPECT_EQ(doc.at("d.label").as_string(), "bdd");
+}
+
+analysis_result run_bwr(std::size_t threads) {
+  bwr_options bopt;
+  bopt.dynamic_events = true;
+  bopt = with_bwr_triggers(bopt, 2);
+  analysis_options aopt;
+  aopt.cutoff = 1e-10;
+  aopt.threads = threads;
+  return analyze(make_bwr_model(bopt), aopt);
+}
+
+TEST(ObsEngine, BwrRunEmitsOneSpanPerStageWithMatchingParents) {
+  const obs_session session;
+  const analysis_result result = run_bwr(8);
+  ASSERT_GT(result.num_cutsets, 0u);
+
+  const auto spans = obs::trace_recorder::instance().snapshot();
+  const auto runs = spans_named(spans, "engine.run");
+  ASSERT_EQ(runs.size(), 1u);
+  for (const char* stage : {"engine.translate", "engine.generate",
+                            "engine.quantify", "engine.sum"}) {
+    const auto matches = spans_named(spans, stage);
+    ASSERT_EQ(matches.size(), 1u) << stage;
+    EXPECT_EQ(matches.at(0).parent, runs.at(0).id) << stage;
+    EXPECT_GE(matches.at(0).duration_ns, 0u) << stage;
+    EXPECT_LE(matches.at(0).duration_ns, runs.at(0).duration_ns) << stage;
+  }
+  // Pool-side spans attach below the stages, never float as roots.
+  for (const char* worker_span : {"mocus.task", "quant.mcs"}) {
+    for (const auto& s : spans_named(spans, worker_span)) {
+      EXPECT_NE(s.parent, 0u) << worker_span;
+    }
+  }
+  EXPECT_FALSE(spans_named(spans, "quant.mcs").empty());
+}
+
+TEST(ObsEngine, PublishCoversEveryEngineStatsMetric) {
+  const obs_session session;
+  const analysis_result result = run_bwr(4);
+  const auto names = obs::metrics_registry::global().names();
+  for (const auto& [name, value] : result.stats.metrics()) {
+    (void)value;
+    EXPECT_TRUE(std::find(names.begin(), names.end(), name) != names.end())
+        << "metric '" << name << "' not published";
+  }
+  EXPECT_EQ(obs::metrics_registry::global().label("engine.backend"), "mocus");
+  EXPECT_EQ(obs::metrics_registry::global()
+                .get_counter("engine.cutsets")
+                .value(),
+            result.num_cutsets);
+}
+
+TEST(ObsEngine, TracingDoesNotPerturbDeterminism) {
+  // Bit-exact across thread counts and across the tracing switch.
+  const double p_serial_off = run_bwr(1).failure_probability;
+  const obs_session session;
+  const double p_traced_8 = run_bwr(8).failure_probability;
+  obs::trace_recorder::instance().clear();
+  const double p_traced_8_again = run_bwr(8).failure_probability;
+  EXPECT_EQ(p_serial_off, p_traced_8);
+  EXPECT_EQ(p_traced_8, p_traced_8_again);
+}
+
+}  // namespace
+}  // namespace sdft

@@ -160,6 +160,39 @@ TEST(OpenPsa, RejectsBrokenModels) {
                model_error);
 }
 
+TEST(OpenPsa, RejectsTruncatedDocuments) {
+  // Cut off mid-element: the XML layer must reject it, not crash or
+  // silently return a partial tree.
+  EXPECT_THROW(parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-gate name="top"><or><basic-event name="a"/></or>)"),
+               error);
+  EXPECT_THROW(parse_openpsa("<opsa-mef><define-fault-tree"), error);
+  EXPECT_THROW(parse_openpsa(""), error);
+}
+
+TEST(OpenPsa, RejectsMalformedProbabilities) {
+  EXPECT_THROW(parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-gate name="top"><or><basic-event name="a"/></or></define-gate>
+  <define-basic-event name="a"><float value="oops"/></define-basic-event>
+</define-fault-tree></opsa-mef>)"),
+               model_error);
+}
+
+TEST(OpenPsa, RejectsOutOfRangeAtleastMin) {
+  // min larger than the number of inputs can never be satisfied.
+  EXPECT_THROW(parse_openpsa(R"(
+<opsa-mef><define-fault-tree name="x">
+  <define-gate name="top">
+    <atleast min="3"><basic-event name="a"/><basic-event name="b"/></atleast>
+  </define-gate>
+  <define-basic-event name="a"><float value="0.1"/></define-basic-event>
+  <define-basic-event name="b"><float value="0.1"/></define-basic-event>
+</define-fault-tree></opsa-mef>)"),
+               model_error);
+}
+
 TEST(OpenPsa, BasicEventsMayLiveInsideFaultTree) {
   const fault_tree ft = parse_openpsa(R"(
 <opsa-mef><define-fault-tree name="x">

@@ -195,5 +195,92 @@ TEST(SdParser, RejectsBadStateIndices) {
                model_error);
 }
 
+// Counts occurrences of the parse-error prefix: errors must be wrapped
+// exactly once, whatever nesting of validation they bubbled through.
+std::size_t prefix_count(const std::string& what) {
+  const std::string prefix = "SD fault tree parse error";
+  std::size_t count = 0;
+  for (std::size_t at = what.find(prefix); at != std::string::npos;
+       at = what.find(prefix, at + prefix.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Expects `text` to be rejected with the prefix exactly once and the given
+// line fragment in the message; returns the message for extra checks.
+std::string expect_single_wrap(const std::string& text,
+                               const std::string& line_fragment) {
+  try {
+    parse_sd_fault_tree_string(text);
+  } catch (const model_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(prefix_count(what), 1u) << what;
+    EXPECT_NE(what.find(line_fragment), std::string::npos) << what;
+    return what;
+  }
+  ADD_FAILURE() << "expected parse error for: " << text;
+  return {};
+}
+
+TEST(SdParser, PlainChainValidationWrapsOnceWithChainLine) {
+  // Missing initial distribution surfaces from ctmc::validate, which fires
+  // when the block closes — the message must carry the 'end' line, once.
+  const std::string what = expect_single_wrap(
+      "dyn d chain 2\n  rate 0 1 0.1\n  failed 1\nend\n"
+      "be b 0.5\nor g1 d b\ntop g1\n",
+      "line 4");
+  EXPECT_NE(what.find("ctmc:"), std::string::npos) << what;
+}
+
+TEST(SdParser, ChainDirectiveErrorsWrapOnceWithDirectiveLine) {
+  // Self-loop rate: thrown by ctmc::add_rate inside the block.
+  expect_single_wrap(
+      "dyn d chain 2\n  init 0 1\n  rate 0 0 0.1\n  failed 1\nend\n"
+      "be b 0.5\nor g1 d b\ntop g1\n",
+      "line 3");
+  // Out-of-range initial probability: thrown by ctmc::set_initial.
+  expect_single_wrap(
+      "dyn d chain 2\n  init 0 2.0\n  failed 1\nend\n"
+      "be b 0.5\nor g1 d b\ntop g1\n",
+      "line 2");
+}
+
+TEST(SdParser, TriggeredChainValidationWrapsOnce) {
+  // Failed off-state: rejected by triggered_ctmc::validate at 'end'.
+  expect_single_wrap(
+      "dyn d chain 3\n  init 0 1\n  rate 1 2 0.1\n  failed 2\n"
+      "  on 0 1\n  on 2 1\n  off 1 0\nend\n"
+      "be b 0.5\nand g1 d b\ntrigger g1 d\ntop g1\n",
+      "line 8");
+}
+
+TEST(SdParser, ErlangFactoryErrorsWrapOnceWithDynLine) {
+  expect_single_wrap("dyn d erlang 0 0.1 0.2\nbe b 0.5\nor g1 d b\ntop g1\n",
+                     "line 1");
+}
+
+TEST(SdParser, TruncatedChainBlockWrapsOnce) {
+  const std::string what = expect_single_wrap(
+      "be b 0.5\ndyn d chain 2\n  init 0 1\n  rate 0 1 0.1\n", "line 4");
+  EXPECT_NE(what.find("not terminated"), std::string::npos) << what;
+}
+
+TEST(SdParser, OutOfRangeStateIndexWrapsOnce) {
+  expect_single_wrap(
+      "dyn d chain 2\n  init 0 1\n  rate 0 9 0.1\n  failed 1\nend\n"
+      "be b 0.5\nor g1 d b\ntop g1\n",
+      "line 3");
+}
+
+TEST(SdParser, TreeLevelValidationErrorsWrapOnce) {
+  // Plain chain used with a trigger: rejected when the tree is wired up.
+  const std::string what = expect_single_wrap(
+      "be b 0.5\ndyn d chain 2\n  init 0 1\n  rate 0 1 0.1\n  failed 1\nend\n"
+      "and g1 d b\ntrigger g1 d\ntop g1\n",
+      "line 8");
+  EXPECT_NE(what.find("triggered"), std::string::npos) << what;
+}
+
 }  // namespace
 }  // namespace sdft

@@ -1,0 +1,137 @@
+// obs_check — validates the observability artifacts of an `sdft analyze`
+// run. Used by the CI smoke job (and handy interactively) to catch schema
+// drift before a trace stops loading in Chrome/Perfetto or a bench loses a
+// metric key.
+//
+//   obs_check trace <trace.json>      validate a --trace-json file
+//   obs_check metrics <metrics.json>  validate a --metrics-json file
+//
+// Trace checks: well-formed JSON, a traceEvents array whose "X" events have
+// non-negative ts/dur, unique span ids, parent ids that resolve (or 0), and
+// one span for each of the four engine stages parented to engine.run.
+// Metrics checks: a flat JSON object carrying every canonical engine_stats
+// key (DESIGN.md §11) with numeric values.
+//
+// Exit code 0 when valid; 1 with a message on stderr otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using sdft::json::value;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw sdft::error("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void check(bool cond, const std::string& what) {
+  if (!cond) throw sdft::error(what);
+}
+
+int check_trace(const std::string& path) {
+  const value doc = sdft::json::parse(slurp(path));
+  const value& events = doc.at("traceEvents");
+  check(events.is_array(), "traceEvents is not an array");
+
+  std::set<double> ids;
+  std::size_t complete = 0;
+  for (const value& e : events.as_array()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph != "X") continue;  // metadata events etc.
+    ++complete;
+    check(e.at("ts").as_number() >= 0.0, "negative ts");
+    check(e.at("dur").as_number() >= 0.0, "negative dur");
+    check(e.at("pid").as_number() == 1.0, "unexpected pid");
+    e.at("tid").as_number();
+    const double id = e.at("args").at("span_id").as_number();
+    check(ids.insert(id).second, "duplicate span id");
+  }
+  // Parents must either be a recorded span or 0 (no parent).
+  std::set<std::string> stages;
+  double run_id = 0.0;
+  for (const value& e : events.as_array()) {
+    if (e.at("ph").as_string() != "X") continue;
+    const double parent = e.at("args").at("parent_id").as_number();
+    check(parent == 0.0 || ids.count(parent) > 0,
+          "parent id does not resolve: " + e.at("name").as_string());
+    if (e.at("name").as_string() == "engine.run") {
+      run_id = e.at("args").at("span_id").as_number();
+    }
+  }
+  for (const value& e : events.as_array()) {
+    if (e.at("ph").as_string() != "X") continue;
+    const std::string& name = e.at("name").as_string();
+    if (name == "engine.translate" || name == "engine.generate" ||
+        name == "engine.quantify" || name == "engine.sum") {
+      check(e.at("args").at("parent_id").as_number() == run_id,
+            "stage span '" + name + "' not parented to engine.run");
+      stages.insert(name);
+    }
+  }
+  check(stages.size() == 4, "missing engine stage spans (found " +
+                                std::to_string(stages.size()) + "/4)");
+  std::printf("trace ok: %zu spans, 4 engine stages\n", complete);
+  return 0;
+}
+
+int check_metrics(const std::string& path) {
+  const value doc = sdft::json::parse(slurp(path));
+  check(doc.is_object(), "metrics file is not a JSON object");
+  // The canonical engine_stats vocabulary (engine_stats::metrics()).
+  const char* required[] = {
+      "engine.translate_seconds", "engine.generate_seconds",
+      "engine.quantify_seconds",  "engine.sum_seconds",
+      "engine.total_seconds",     "engine.cutsets",
+      "mocus.partials_expanded",  "mocus.cutoff_discarded",
+      "bdd.nodes",                "quant.static_cutsets",
+      "quant.dynamic_cutsets",    "quant.failed",
+      "quant.lumped_orbits",      "quant.lumped_cutsets",
+      "quant.packed_key_chains",  "quant.vector_key_chains",
+      "transient.steps_saved",    "quant.cache_hit",
+      "quant.cache_miss",         "quant.cache_entries",
+      "quant.cache_hit_rate",     "pool.threads",
+      "mocus.threads",            "mocus.tasks",
+      "mocus.steals",             "mocus.occupancy",
+      "quant.tasks",              "quant.steals",
+      "pool.occupancy",
+  };
+  for (const char* key : required) {
+    check(doc.contains(key), std::string("missing metric '") + key + "'");
+    check(doc.at(key).is_number(),
+          std::string("metric '") + key + "' is not numeric");
+  }
+  check(doc.contains("engine.backend"), "missing engine.backend label");
+  std::printf("metrics ok: %zu entries, all canonical keys present\n",
+              doc.as_object().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: obs_check <trace|metrics> <file>\n");
+    return 2;
+  }
+  try {
+    const std::string mode = argv[1];
+    if (mode == "trace") return check_trace(argv[2]);
+    if (mode == "metrics") return check_metrics(argv[2]);
+    std::fprintf(stderr, "obs_check: unknown mode '%s'\n", mode.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs_check: %s\n", e.what());
+    return 1;
+  }
+}

@@ -13,7 +13,12 @@
 //          --details (per-cutset breakdown),
 //          --backend mocus|bdd (cutset source), --no-cache,
 //          --stats (engine instrumentation: stage times, backend
-//          counters, quantification-cache hits/misses, pool occupancy).
+//          counters, quantification-cache hits/misses, pool occupancy),
+//          --trace-json FILE (Chrome trace_event spans of the run),
+//          --metrics-json FILE (obs metric registry dump; see DESIGN.md §11).
+//
+// Exit codes: 0 success, 1 model/numeric error (sdft::error), 2 usage or
+// unexpected internal error.
 //
 // Files use the SD fault tree text format (sdft/parser.hpp); purely static
 // models are ordinary SD files without dyn/trigger lines.
@@ -33,6 +38,7 @@
 #include "ft/modules.hpp"
 #include "mcs/importance.hpp"
 #include "mcs/mocus.hpp"
+#include "obs/obs.hpp"
 #include "product/product_ctmc.hpp"
 #include "sdft/classify.hpp"
 #include "sdft/parser.hpp"
@@ -63,6 +69,8 @@ struct cli_options {
   bool early_termination = true;
   std::size_t runs = 100'000;
   std::uint64_t seed = 1;
+  std::string trace_json;    ///< Chrome trace_event output path (empty: off)
+  std::string metrics_json;  ///< metric registry dump path (empty: off)
 };
 
 [[noreturn]] void usage() {
@@ -73,7 +81,8 @@ struct cli_options {
       "            [--horizon H] [--cutoff C] [--threads N]\n"
       "            [--mode exact|under|over] [--top K] [--details]\n"
       "            [--backend mocus|bdd] [--no-cache] [--stats]\n"
-      "            [--no-lumping] [--no-early-termination]\n");
+      "            [--no-lumping] [--no-early-termination]\n"
+      "            [--trace-json FILE] [--metrics-json FILE]\n");
   std::exit(2);
 }
 
@@ -119,6 +128,10 @@ cli_options parse_args(int argc, char** argv) {
       opt.runs = std::stoul(next());
     } else if (arg == "--seed") {
       opt.seed = std::stoull(next());
+    } else if (arg == "--trace-json") {
+      opt.trace_json = next();
+    } else if (arg == "--metrics-json") {
+      opt.metrics_json = next();
     } else if (arg == "--mode") {
       const std::string mode = next();
       if (mode == "exact") {
@@ -405,25 +418,56 @@ int cmd_import(const cli_options& opt) {
   return 0;
 }
 
+int dispatch(const cli_options& opt) {
+  if (opt.command == "static") return cmd_static(opt);
+  if (opt.command == "mcs") return cmd_mcs(opt);
+  if (opt.command == "analyze") return cmd_analyze(opt);
+  if (opt.command == "exact") return cmd_exact(opt);
+  if (opt.command == "importance") return cmd_importance(opt);
+  if (opt.command == "classify") return cmd_classify(opt);
+  if (opt.command == "convert") return cmd_convert(opt);
+  if (opt.command == "simulate") return cmd_simulate(opt);
+  if (opt.command == "export") return cmd_export(opt);
+  if (opt.command == "import") return cmd_import(opt);
+  if (opt.command == "uncertainty") return cmd_uncertainty(opt);
+  usage();
+}
+
+void write_observability(const cli_options& opt) {
+  if (!opt.trace_json.empty()) {
+    std::ofstream out(opt.trace_json);
+    if (!out) throw error("cannot write '" + opt.trace_json + "'");
+    obs::trace_recorder::instance().write_chrome_json(out);
+  }
+  if (!opt.metrics_json.empty()) {
+    std::ofstream out(opt.metrics_json);
+    if (!out) throw error("cannot write '" + opt.metrics_json + "'");
+    out << obs::metrics_registry::global().to_json() << '\n';
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const cli_options opt = parse_args(argc, argv);
-    if (opt.command == "static") return cmd_static(opt);
-    if (opt.command == "mcs") return cmd_mcs(opt);
-    if (opt.command == "analyze") return cmd_analyze(opt);
-    if (opt.command == "exact") return cmd_exact(opt);
-    if (opt.command == "importance") return cmd_importance(opt);
-    if (opt.command == "classify") return cmd_classify(opt);
-    if (opt.command == "convert") return cmd_convert(opt);
-    if (opt.command == "simulate") return cmd_simulate(opt);
-    if (opt.command == "export") return cmd_export(opt);
-    if (opt.command == "import") return cmd_import(opt);
-    if (opt.command == "uncertainty") return cmd_uncertainty(opt);
-    usage();
+    const bool observe = !opt.trace_json.empty() || !opt.metrics_json.empty();
+    if (observe) {
+      obs::set_enabled(true);
+      obs::trace_recorder::instance().clear();
+      obs::metrics_registry::global().reset();
+      obs::set_thread_label("main");
+    }
+    const int rc = dispatch(opt);
+    if (observe) write_observability(opt);
+    return rc;
   } catch (const sdft::error& e) {
+    // Model or numeric errors: the input (or its analysis) is at fault.
     std::fprintf(stderr, "sdft: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Anything else escaping main is an internal error, not bad input.
+    std::fprintf(stderr, "sdft: internal error: %s\n", e.what());
+    return 2;
   }
 }
