@@ -12,8 +12,10 @@
 #include "engine/engine.hpp"
 #include "gen/bwr.hpp"
 #include "gen/industrial.hpp"
+#include "ft/modules.hpp"
 #include "mcs/mocus.hpp"
 #include "obs/obs.hpp"
+#include "prep/prep.hpp"
 #include "product/product_ctmc.hpp"
 
 namespace {
@@ -208,6 +210,112 @@ BENCHMARK(bm_stage3_quantify_trains)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
+
+// --- Prep rewrite-layer kernels -----------------------------------------
+// The CI perf-smoke job runs exactly these via --benchmark_filter=prep and
+// archives the JSON as BENCH_prep.json next to BENCH_stage3.json (no
+// thresholds; trend data only).
+
+const fault_tree& industrial_static() {
+  static const fault_tree ft = generate_industrial({}).ft;
+  return ft;
+}
+
+void bm_prep_normalise(benchmark::State& state) {
+  // Mandatory normalisation only (what prep still does under --no-prep).
+  prep_options opts;
+  opts.enabled = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preprocess(industrial_static(), opts).tree.size());
+  }
+}
+BENCHMARK(bm_prep_normalise)->Unit(benchmark::kMicrosecond);
+
+void bm_prep_rewrite(benchmark::State& state) {
+  // One rewrite family at a time over the industrial tree: 0 = folding +
+  // coalescing, 1 = duplicate merging, 2 = common-argument factoring,
+  // 3 = absorption. Isolates each pass's per-fixpoint cost.
+  prep_options opts;
+  opts.fold = opts.coalesce = state.range(0) == 0;
+  opts.merge_duplicates = state.range(0) == 1;
+  opts.merge_common_args = state.range(0) == 2;
+  opts.absorb = state.range(0) == 3;
+  opts.modularize = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preprocess(industrial_static(), opts).tree.size());
+  }
+}
+BENCHMARK(bm_prep_rewrite)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_prep_full(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preprocess(industrial_static()).tree.size());
+  }
+  const prep_result p = preprocess(industrial_static());
+  state.counters["prep.nodes_before"] =
+      static_cast<double>(p.stats.nodes_before);
+  state.counters["prep.nodes_after"] =
+      static_cast<double>(p.stats.nodes_after);
+  state.counters["prep.modules"] = static_cast<double>(p.stats.modules_found);
+  state.counters["prep.passes"] = static_cast<double>(p.stats.passes);
+}
+BENCHMARK(bm_prep_full)->Unit(benchmark::kMicrosecond);
+
+void bm_prep_find_modules(benchmark::State& state) {
+  // The linear-time DFS-timestamp module detection on its own.
+  prep_options opts;
+  opts.modularize = false;
+  const prep_result p = preprocess(industrial_static(), opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_modules(p.tree).size());
+  }
+}
+BENCHMARK(bm_prep_find_modules)->Unit(benchmark::kMicrosecond);
+
+void bm_prep_engine_bwr(benchmark::State& state) {
+  // End-to-end A/B on the dynamic BWR study: Arg(0) = prep off (mandatory
+  // normalisation only, no modular stage 2), Arg(1) = prep on.
+  analysis_options aopts;
+  aopts.cutoff = 1e-10;
+  aopts.threads = 1;
+  aopts.prep.enabled = state.range(0) != 0;
+  analysis_engine engine(aopts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(bwr_dynamic()).failure_probability);
+  }
+  const analysis_result last = engine.run(bwr_dynamic());
+  for (const auto& [name, value] : last.stats.metrics()) {
+    state.counters[name] = value;
+  }
+}
+BENCHMARK(bm_prep_engine_bwr)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void bm_prep_engine_industrial(benchmark::State& state) {
+  // Same A/B on the (purely static) industrial PSA study, where the
+  // rewrites and per-module generation pay off the most.
+  static const sd_fault_tree tree = sd_fault_tree(industrial_static());
+  analysis_options aopts;
+  aopts.cutoff = 1e-15;
+  aopts.threads = 1;
+  aopts.prep.enabled = state.range(0) != 0;
+  analysis_engine engine(aopts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(tree).failure_probability);
+  }
+  const analysis_result last = engine.run(tree);
+  for (const auto& [name, value] : last.stats.metrics()) {
+    state.counters[name] = value;
+  }
+}
+BENCHMARK(bm_prep_engine_industrial)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // --- Observability overhead (DESIGN.md §11). The acceptance bar is <2%
 // on instrumented pipelines with recording compiled in but disabled; the

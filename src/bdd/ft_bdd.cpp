@@ -35,11 +35,27 @@ ft_bdd::ft_bdd(const fault_tree& ft, node_index root) : ft_(ft) {
       ref = manager_.var(event_to_var_.at(n));
     } else {
       const auto& gate = ft_.node(n);
-      const bool is_and = gate.type == gate_type::and_gate;
-      ref = is_and ? manager_.one() : manager_.zero();
-      for (node_index child : gate.inputs) {
-        const bdd_ref c = compile(child);
-        ref = is_and ? manager_.bdd_and(ref, c) : manager_.bdd_or(ref, c);
+      if (gate.type == gate_type::atleast_gate) {
+        // Threshold DP over the inputs: at_least[j] after i children is
+        // "at least j of the first i are failed". Polynomial in k * N,
+        // no C(N, k) expansion.
+        std::vector<bdd_ref> at_least(gate.k + 1, manager_.zero());
+        at_least[0] = manager_.one();
+        for (node_index child : gate.inputs) {
+          const bdd_ref c = compile(child);
+          for (std::uint32_t j = gate.k; j >= 1; --j) {
+            at_least[j] = manager_.bdd_or(at_least[j],
+                                          manager_.bdd_and(c, at_least[j - 1]));
+          }
+        }
+        ref = at_least[gate.k];
+      } else {
+        const bool is_and = gate.type == gate_type::and_gate;
+        ref = is_and ? manager_.one() : manager_.zero();
+        for (node_index child : gate.inputs) {
+          const bdd_ref c = compile(child);
+          ref = is_and ? manager_.bdd_and(ref, c) : manager_.bdd_or(ref, c);
+        }
       }
     }
     memo.emplace(n, ref);

@@ -16,40 +16,13 @@ namespace {
 /// Jobs below this size are not worth fanning out.
 constexpr std::size_t parallel_grain = 2048;
 
-/// Canonical list order in SD index space: by (size, content). Both
-/// backends funnel through this, so stage 3 always sees the identical
-/// cutset sequence regardless of backend or thread count.
-void sort_canonically(std::vector<cutset>& sets) {
+}  // namespace
+
+void sort_cutsets_canonically(std::vector<cutset>& sets) {
   std::sort(sets.begin(), sets.end(), [](const cutset& a, const cutset& b) {
     return a.size() != b.size() ? a.size() < b.size() : a < b;
   });
 }
-
-/// Maps FT-bar cutsets back to original SD-tree indices (each sorted),
-/// then sorts the list canonically.
-std::vector<cutset> map_to_sd(std::vector<cutset> bar_cutsets,
-                              const static_translation& translation,
-                              thread_pool* pool) {
-  obs::span_scope span("cutsets.map_to_sd", "generate");
-  span.arg("cutsets", static_cast<double>(bar_cutsets.size()));
-  std::vector<cutset> out(bar_cutsets.size());
-  const auto map_one = [&](std::size_t i) {
-    cutset mapped;
-    mapped.reserve(bar_cutsets[i].size());
-    for (node_index b : bar_cutsets[i]) mapped.push_back(translation.to_sd.at(b));
-    std::sort(mapped.begin(), mapped.end());
-    out[i] = std::move(mapped);
-  };
-  if (pool != nullptr && pool->size() > 1 && out.size() >= parallel_grain) {
-    parallel_for(*pool, out.size(), map_one);
-  } else {
-    for (std::size_t i = 0; i < out.size(); ++i) map_one(i);
-  }
-  sort_canonically(out);
-  return out;
-}
-
-}  // namespace
 
 const char* to_string(cutset_backend backend) {
   switch (backend) {
@@ -61,28 +34,27 @@ const char* to_string(cutset_backend backend) {
   return "?";
 }
 
-cutset_generation mocus_source::generate(const static_translation& translation,
-                                         double cutoff,
+cutset_generation mocus_source::generate(const fault_tree& ft, double cutoff,
                                          thread_pool* pool) const {
   mocus_options opts;
   opts.cutoff = cutoff;
   opts.pool = pool;
-  mocus_result mcs = mocus(translation.ft_bar, opts);
+  mocus_result mcs = mocus(ft, opts);
   cutset_generation out;
   out.partials_processed = mcs.partials_processed;
   out.discarded = mcs.cutoff_discarded;
-  out.cutsets = map_to_sd(std::move(mcs.cutsets), translation, pool);
+  out.cutsets = std::move(mcs.cutsets);
+  sort_cutsets_canonically(out.cutsets);
   return out;
 }
 
-cutset_generation bdd_source::generate(const static_translation& translation,
-                                       double cutoff,
+cutset_generation bdd_source::generate(const fault_tree& ft, double cutoff,
                                        thread_pool* pool) const {
   cutset_generation out;
   std::optional<ft_bdd> compiled;
   {
     obs::span_scope compile_span("bdd.compile", "generate");
-    compiled.emplace(translation.ft_bar);
+    compiled.emplace(ft);
     out.bdd_nodes = compiled->node_count();
     compile_span.arg("nodes", static_cast<double>(out.bdd_nodes));
   }
@@ -95,11 +67,12 @@ cutset_generation bdd_source::generate(const static_translation& translation,
   compiled.reset();
   // MOCUS keeps partials with probability >= cutoff; applying the same
   // predicate to the complete cutset list yields an identical selection,
-  // since a cutset's FT-bar product equals its final partial's probability.
+  // since a cutset's probability product equals its final partial's
+  // probability.
   if (cutoff > 0.0) {
     obs::span_scope filter_span("bdd.filter", "generate");
     const auto below = [&](const cutset& c) {
-      return cutset_probability(translation.ft_bar, c) < cutoff;
+      return cutset_probability(ft, c) < cutoff;
     };
     if (pool != nullptr && pool->size() > 1 && kept.size() >= parallel_grain) {
       // Evaluate the predicate in parallel, then compact in index order so
@@ -121,7 +94,8 @@ cutset_generation bdd_source::generate(const static_translation& translation,
       kept.erase(it, kept.end());
     }
   }
-  out.cutsets = map_to_sd(std::move(kept), translation, pool);
+  out.cutsets = std::move(kept);
+  sort_cutsets_canonically(out.cutsets);
   return out;
 }
 

@@ -4,8 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "ft/fault_tree.hpp"
 #include "mcs/cutset.hpp"
-#include "sdft/translate.hpp"
 
 namespace sdft {
 
@@ -26,12 +26,15 @@ enum class cutset_backend {
 
 const char* to_string(cutset_backend backend);
 
-/// Output of a cutset source: relevant minimal cutsets mapped back to
-/// original SD-tree indices, plus backend counters. The cutset list is
-/// canonical — each cutset sorted, the list ordered by (size, content) in
-/// SD index space — so every backend and every thread count hands stage 3
-/// the identical sequence (and the stage-4 sum runs in the identical
-/// order, making the failure probability bit-reproducible).
+/// Output of a cutset source: relevant minimal cutsets over the analysed
+/// tree's basic events, plus backend counters. The cutset list is
+/// canonical — each cutset sorted, the list ordered by (size, content) —
+/// so every backend and every thread count hands the caller the identical
+/// sequence. Index spaces: a source speaks the index space of the tree it
+/// was given; the engine's modular recombination layer (engine/modular)
+/// folds module subproblems together and maps the final list back to
+/// original SD-tree indices, which keeps stage 3's input (and the stage-4
+/// sum order, and hence the failure probability) bit-reproducible.
 struct cutset_generation {
   std::vector<cutset> cutsets;
 
@@ -42,10 +45,10 @@ struct cutset_generation {
 };
 
 /// Stage-2 interface of the engine: generates the relevant minimal
-/// cutsets of a translated SD fault tree. Implementations must agree on
-/// cutoff semantics: a cutset whose FT-bar probability product falls
-/// below `cutoff` is irrelevant (paper eq. (1)); cutoff 0 disables
-/// truncation.
+/// cutsets of an AND/OR fault tree (typically a prep-rewritten module of
+/// FT-bar). Implementations must agree on cutoff semantics: a cutset
+/// whose probability product over `ft` falls below `cutoff` is irrelevant
+/// (paper eq. (1)); cutoff 0 disables truncation.
 ///
 /// `pool` is the engine's worker pool; implementations fan their
 /// parallelisable parts out over it. nullptr runs single-threaded. The
@@ -56,28 +59,31 @@ class cutset_source {
 
   virtual const char* name() const = 0;
 
-  virtual cutset_generation generate(const static_translation& translation,
-                                     double cutoff,
+  virtual cutset_generation generate(const fault_tree& ft, double cutoff,
                                      thread_pool* pool) const = 0;
 };
 
-/// MOCUS on FT-bar (paper §V-B), the seed pipeline's generator. With a
-/// pool, partial-cutset expansion runs on the work-stealing frontier.
+/// Canonical list order: by (size, content). Both backends funnel through
+/// this, as does the modular recombination layer.
+void sort_cutsets_canonically(std::vector<cutset>& sets);
+
+/// MOCUS (paper §V-B), the seed pipeline's generator. With a pool,
+/// partial-cutset expansion runs on the work-stealing frontier.
 class mocus_source final : public cutset_source {
  public:
   const char* name() const override { return "mocus"; }
-  cutset_generation generate(const static_translation& translation,
-                             double cutoff, thread_pool* pool) const override;
+  cutset_generation generate(const fault_tree& ft, double cutoff,
+                             thread_pool* pool) const override;
 };
 
-/// ft_bdd::minimal_cutsets() on FT-bar with post-hoc cutoff filtering.
-/// With a pool, the per-cutset cutoff evaluation of the minimal solutions
-/// (and the SD-index mapping) fans out; BDD compilation stays serial.
+/// ft_bdd::minimal_cutsets() with post-hoc cutoff filtering. With a pool,
+/// the per-cutset cutoff evaluation of the minimal solutions fans out;
+/// BDD compilation stays serial.
 class bdd_source final : public cutset_source {
  public:
   const char* name() const override { return "bdd"; }
-  cutset_generation generate(const static_translation& translation,
-                             double cutoff, thread_pool* pool) const override;
+  cutset_generation generate(const fault_tree& ft, double cutoff,
+                             thread_pool* pool) const override;
 };
 
 std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend);

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "engine/modular.hpp"
 #include "obs/obs.hpp"
+#include "prep/prep.hpp"
 #include "sdft/translate.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -30,11 +32,37 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
   }();
   stats.translate_seconds = stage_timer.seconds();
 
+  // Stage 1b: preprocessing — normalise, simplify and modularise FT-bar
+  // before any cutset is generated (every rewrite preserves the structure
+  // function, so the cutset list and probability are unchanged).
+  stage_timer.reset();
+  const prep_result prep = [&] {
+    obs::span_scope span("engine.prep");
+    prep_result p = preprocess(translation.ft_bar, options_.prep);
+    span.arg("nodes_before", static_cast<double>(p.stats.nodes_before));
+    span.arg("nodes_after", static_cast<double>(p.stats.nodes_after));
+    span.arg("modules", static_cast<double>(p.stats.modules_found));
+    return p;
+  }();
+  stats.prep_seconds = stage_timer.seconds();
+  stats.prep_nodes_before = prep.stats.nodes_before;
+  stats.prep_nodes_after = prep.stats.nodes_after;
+  stats.prep_nodes_eliminated = prep.stats.nodes_eliminated();
+  stats.prep_atleast_lowered = prep.stats.atleast_lowered;
+  stats.prep_constants_folded = prep.stats.constants_folded;
+  stats.prep_gates_coalesced = prep.stats.gates_coalesced;
+  stats.prep_duplicates_merged = prep.stats.duplicates_merged;
+  stats.prep_common_args_merged = prep.stats.common_args_merged;
+  stats.prep_absorptions = prep.stats.absorptions;
+  stats.prep_passes = prep.stats.passes;
+  stats.prep_modules = prep.stats.modules_found;
+
   // One pool serves stage 2 (cutset generation) and stage 3
   // (quantification); counter snapshots attribute activity per stage.
   thread_pool pool(options_.threads);
 
-  // Stage 2: relevant minimal cutsets through the selected source.
+  // Stage 2: relevant minimal cutsets through the selected source, one
+  // subproblem per prep module, recombined to the exact full list.
   stage_timer.reset();
   cutset_generation generated;
   {
@@ -44,7 +72,10 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
         make_cutset_source(options_.backend);
     stats.backend = source->name();
     const pool_counters before_generate = pool.counters();
-    generated = source->generate(translation, options_.cutoff, &pool);
+    modular_generation modular = generate_modular(
+        prep, translation, *source, options_.cutoff, &pool);
+    generated = std::move(modular.generation);
+    stats.prep_module_cutsets = modular.module_cutsets;
     const pool_counters after_generate = pool.counters();
     stats.generate_seconds = stage_timer.seconds();
     stats.num_cutsets = generated.cutsets.size();

@@ -9,6 +9,7 @@
 #include "engine/quant_cache.hpp"
 #include "engine/quantifier.hpp"
 #include "mcs/cutset.hpp"
+#include "prep/prep.hpp"
 #include "sdft/sd_fault_tree.hpp"
 
 namespace sdft {
@@ -63,6 +64,13 @@ struct analysis_options {
   bool lump_symmetry = true;
   bool packed_state_keys = true;
   bool transient_early_termination = true;
+
+  /// Preprocessing of FT-bar between translation and cutset generation
+  /// (src/prep): simplifying rewrites plus modularization of stage 2.
+  /// prep.enabled=false keeps only the mandatory normalisation (voting
+  /// gates lowered to AND/OR) — every rewrite preserves the structure
+  /// function, so results are bit-identical either way.
+  prep_options prep;
 };
 
 /// Result of the full SD analysis.

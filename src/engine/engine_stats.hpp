@@ -21,10 +21,26 @@ struct engine_stats {
 
   // Per-stage wall times (seconds).
   double translate_seconds = 0;  ///< FT-bar construction + worst-case p(a)
+  double prep_seconds = 0;       ///< rewrite pipeline + modularization
   double generate_seconds = 0;   ///< minimal-cutset generation
   double quantify_seconds = 0;   ///< parallel per-cutset quantification
   double sum_seconds = 0;        ///< rare-event sum + statistics
   double total_seconds = 0;
+
+  // Preprocessing (src/prep) counters: what the rewrite pipeline did to
+  // FT-bar before cutset generation, and how stage 2 was modularised.
+  std::size_t prep_nodes_before = 0;
+  std::size_t prep_nodes_after = 0;
+  std::size_t prep_nodes_eliminated = 0;
+  std::size_t prep_atleast_lowered = 0;
+  std::size_t prep_constants_folded = 0;
+  std::size_t prep_gates_coalesced = 0;
+  std::size_t prep_duplicates_merged = 0;
+  std::size_t prep_common_args_merged = 0;
+  std::size_t prep_absorptions = 0;
+  std::size_t prep_passes = 0;
+  std::size_t prep_modules = 0;         ///< module roots (incl. the top)
+  std::size_t prep_module_cutsets = 0;  ///< cutsets from nested modules
 
   // Cutset-source counters.
   std::size_t num_cutsets = 0;       ///< relevant MCSs handed to stage 3
@@ -81,6 +97,19 @@ struct engine_stats {
     const auto n = [](std::size_t v) { return static_cast<double>(v); };
     return {
         {"engine.translate_seconds", translate_seconds},
+        {"prep.seconds", prep_seconds},
+        {"prep.nodes_before", n(prep_nodes_before)},
+        {"prep.nodes_after", n(prep_nodes_after)},
+        {"prep.nodes_eliminated", n(prep_nodes_eliminated)},
+        {"prep.atleast_lowered", n(prep_atleast_lowered)},
+        {"prep.constants_folded", n(prep_constants_folded)},
+        {"prep.gates_coalesced", n(prep_gates_coalesced)},
+        {"prep.duplicates_merged", n(prep_duplicates_merged)},
+        {"prep.common_args_merged", n(prep_common_args_merged)},
+        {"prep.absorptions", n(prep_absorptions)},
+        {"prep.passes", n(prep_passes)},
+        {"prep.modules", n(prep_modules)},
+        {"prep.module_cutsets", n(prep_module_cutsets)},
         {"engine.generate_seconds", generate_seconds},
         {"engine.quantify_seconds", quantify_seconds},
         {"engine.sum_seconds", sum_seconds},

@@ -67,7 +67,12 @@ std::string mcs_model_signature(const mcs_model& model, double horizon,
   for (node_index n = 0; n < ft.size(); ++n) {
     const ft_node& node = ft.node(n);
     if (node.kind == node_kind::gate) {
-      out.push_back(node.type == gate_type::and_gate ? 'A' : 'O');
+      if (node.type == gate_type::atleast_gate) {
+        out.push_back('V');
+        put_u32(out, node.k);
+      } else {
+        out.push_back(node.type == gate_type::and_gate ? 'A' : 'O');
+      }
       put_u32(out, static_cast<std::uint32_t>(node.inputs.size()));
       for (node_index input : node.inputs) put_u32(out, input);
       continue;

@@ -31,6 +31,10 @@ class ft_evaluator {
         char all = 1;
         for (node_index child : node.inputs) all &= out[child];
         out[n] = all;
+      } else if (node.type == gate_type::atleast_gate) {
+        std::uint32_t count = 0;
+        for (node_index child : node.inputs) count += out[child] ? 1U : 0U;
+        out[n] = count >= node.k ? 1 : 0;
       } else {
         char any = 0;
         for (node_index child : node.inputs) any |= out[child];
@@ -89,6 +93,10 @@ class subtree_evaluator {
         char all = 1;
         for (node_index child : node.inputs) all &= out[child];
         out[n] = all;
+      } else if (node.type == gate_type::atleast_gate) {
+        std::uint32_t count = 0;
+        for (node_index child : node.inputs) count += out[child] ? 1U : 0U;
+        out[n] = count >= node.k ? 1 : 0;
       } else {
         char any = 0;
         for (node_index child : node.inputs) any |= out[child];

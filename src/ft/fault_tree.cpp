@@ -38,6 +38,33 @@ node_index fault_tree::add_gate(std::string name, gate_type type,
   return idx;
 }
 
+node_index fault_tree::add_atleast_gate(std::string name, std::uint32_t k,
+                                        std::vector<node_index> inputs) {
+  require_model(k >= 1, "fault_tree: atleast gate '" + name +
+                            "' needs a threshold of at least 1");
+  ft_node n;
+  n.name = std::move(name);
+  n.kind = node_kind::gate;
+  n.type = gate_type::atleast_gate;
+  n.k = k;
+  const auto idx = add_node(std::move(n));
+  for (node_index input : inputs) add_input(idx, input);
+  require_model(k <= nodes_[idx].inputs.size(),
+                "fault_tree: atleast gate '" + nodes_[idx].name +
+                    "' has threshold " + std::to_string(k) + " but only " +
+                    std::to_string(nodes_[idx].inputs.size()) + " inputs");
+  return idx;
+}
+
+void fault_tree::set_threshold(node_index gate, std::uint32_t k) {
+  require_model(gate < nodes_.size() && is_gate(gate) &&
+                    nodes_[gate].type == gate_type::atleast_gate,
+                "fault_tree: set_threshold target is not an atleast gate");
+  require_model(k >= 1, "fault_tree: atleast gate '" + nodes_[gate].name +
+                            "' needs a threshold of at least 1");
+  nodes_[gate].k = k;
+}
+
 void fault_tree::add_input(node_index gate, node_index input) {
   require_model(gate < nodes_.size() && input < nodes_.size(),
                 "fault_tree: add_input with out-of-range node index");
@@ -91,6 +118,17 @@ std::size_t fault_tree::num_gates() const { return gates().size(); }
 
 void fault_tree::validate() const {
   require_model(top_ != npos, "fault_tree: no top gate set");
+  for (node_index n = 0; n < nodes_.size(); ++n) {
+    const ft_node& node = nodes_[n];
+    if (node.kind != node_kind::gate || node.type != gate_type::atleast_gate) {
+      continue;
+    }
+    require_model(node.k >= 1 && node.k <= node.inputs.size(),
+                  "fault_tree: atleast gate '" + node.name +
+                      "' has threshold " + std::to_string(node.k) +
+                      " outside [1, " + std::to_string(node.inputs.size()) +
+                      "]");
+  }
   topo_order();  // throws on cycles
 }
 
@@ -165,6 +203,10 @@ std::vector<char> fault_tree::evaluate(
       char all = 1;
       for (node_index child : inputs) all &= failed[child];
       failed[n] = all;
+    } else if (nodes_[n].type == gate_type::atleast_gate) {
+      std::uint32_t count = 0;
+      for (node_index child : inputs) count += failed[child] ? 1U : 0U;
+      failed[n] = count >= nodes_[n].k ? 1 : 0;
     } else {
       char any = 0;
       for (node_index child : inputs) any |= failed[child];

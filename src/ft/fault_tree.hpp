@@ -7,10 +7,14 @@
 
 namespace sdft {
 
-/// Gate connective of a coherent fault tree (paper §II).
+/// Gate connective of a coherent fault tree (paper §II). K-out-of-N voting
+/// gates are first-class: parsers keep them structural and the prep layer
+/// lowers them late (see prep/prep.hpp), so cutset generation never pays
+/// for an eager C(N, K) expansion it may not need.
 enum class gate_type : std::uint8_t {
-  and_gate,  ///< failed iff all inputs are failed
-  or_gate,   ///< failed iff at least one input is failed
+  and_gate,      ///< failed iff all inputs are failed
+  or_gate,       ///< failed iff at least one input is failed
+  atleast_gate,  ///< failed iff at least k of the inputs are failed
 };
 
 enum class node_kind : std::uint8_t { basic, gate };
@@ -25,6 +29,7 @@ struct ft_node {
   std::string name;
   node_kind kind = node_kind::basic;
   gate_type type = gate_type::or_gate;   // meaningful for gates only
+  std::uint32_t k = 0;                   // threshold of an atleast gate
   double probability = 0.0;              // meaningful for basic events only
   std::vector<node_index> inputs;        // gate children (empty for leaves)
 };
@@ -51,6 +56,18 @@ class fault_tree {
   /// Adds a gate with the given inputs (which must already exist).
   node_index add_gate(std::string name, gate_type type,
                       std::vector<node_index> inputs = {});
+
+  /// Adds a K-out-of-N voting gate: failed iff at least `k` of the inputs
+  /// are failed. Requires 1 <= k <= inputs.size(). The gate stays
+  /// structural; the prep layer lowers it to AND/OR before cutset
+  /// generation (add_voting_gate() in ft/voting.hpp is the eager variant).
+  node_index add_atleast_gate(std::string name, std::uint32_t k,
+                              std::vector<node_index> inputs);
+
+  /// Sets the threshold of an atleast gate created before its inputs were
+  /// wired (two-pass builders such as the SD parser). validate() checks
+  /// k against the final input count.
+  void set_threshold(node_index gate, std::uint32_t k);
 
   /// Appends an input to an existing gate. Duplicate inputs are ignored
   /// (AND(a, a) == AND(a)). May create a cycle, which validate() detects.

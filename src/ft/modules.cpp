@@ -12,38 +12,73 @@ namespace sdft {
 std::vector<node_index> find_modules(const fault_tree& ft) {
   require_model(ft.top() != fault_tree::npos, "modules: no top gate");
 
-  // Parent lists restricted to nodes reachable from the top.
-  const auto reachable = ft.descendants(ft.top());
-  std::unordered_set<node_index> live(reachable.begin(), reachable.end());
-  std::unordered_map<node_index, std::vector<node_index>> parents;
-  for (node_index n : reachable) {
-    for (node_index child : ft.node(n).inputs) {
-      parents[child].push_back(n);
+  // Dutuit & Rauzy's linear algorithm. One DFS from the top: the first
+  // visit of a node expands its children, every later visit merely
+  // "touches" it. The timestamp counter advances on every touch and on
+  // every expansion exit, so during a gate's first expansion only its
+  // descendants can be touched. A gate g is then a module iff every
+  // descendant's first AND last touch fall strictly inside g's
+  // first-expansion window (enter(g), exit(g)): a touch before enter(g)
+  // or after exit(g) can only come from a path avoiding g.
+  const std::size_t n = ft.size();
+  constexpr std::uint64_t unvisited = ~std::uint64_t{0};
+  std::vector<std::uint64_t> first_touch(n, unvisited);
+  std::vector<std::uint64_t> last_touch(n, 0);
+  std::vector<std::uint64_t> enter(n, 0);
+  std::vector<std::uint64_t> exit(n, 0);
+  std::vector<node_index> preorder;  // gates in DFS first-visit order
+
+  std::uint64_t clock = 0;
+  std::vector<std::pair<node_index, std::size_t>> stack;
+  const auto touch = [&](node_index x) {
+    const std::uint64_t t = clock++;
+    if (first_touch[x] == unvisited) first_touch[x] = t;
+    last_touch[x] = t;
+    return first_touch[x] == t;
+  };
+  if (touch(ft.top())) {
+    enter[ft.top()] = first_touch[ft.top()];
+    preorder.push_back(ft.top());
+    stack.emplace_back(ft.top(), 0);
+  }
+  while (!stack.empty()) {
+    auto& [g, next_input] = stack.back();
+    const auto& inputs = ft.node(g).inputs;
+    if (next_input < inputs.size()) {
+      const node_index child = inputs[next_input++];
+      if (touch(child) && ft.is_gate(child)) {
+        enter[child] = first_touch[child];
+        preorder.push_back(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      exit[g] = clock++;
+      last_touch[g] = exit[g];
+      stack.pop_back();
     }
   }
 
-  std::vector<node_index> modules;
-  for (node_index g : reachable) {
-    if (!ft.is_gate(g)) continue;
-    if (g == ft.top()) {
-      modules.push_back(g);
-      continue;
-    }
-    const auto subtree = ft.descendants(g);
-    const std::unordered_set<node_index> inside(subtree.begin(),
-                                                subtree.end());
-    bool is_module = true;
-    for (node_index x : subtree) {
-      if (x == g) continue;
-      for (node_index parent : parents[x]) {
-        if (!inside.count(parent)) {
-          is_module = false;
-          break;
-        }
+  // Bottom-up in topological order (children strictly before parents, so
+  // DAG cross edges to earlier-visited nodes aggregate finished values):
+  // min first-touch / max last-touch over all strict descendants.
+  std::vector<std::uint64_t> dmin(n, unvisited);
+  std::vector<std::uint64_t> dmax(n, 0);
+  for (node_index g : ft.topo_order()) {
+    if (!ft.is_gate(g) || first_touch[g] == unvisited) continue;
+    for (node_index child : ft.node(g).inputs) {
+      dmin[g] = std::min(dmin[g], first_touch[child]);
+      dmax[g] = std::max(dmax[g], last_touch[child]);
+      if (ft.is_gate(child)) {
+        dmin[g] = std::min(dmin[g], dmin[child]);
+        dmax[g] = std::max(dmax[g], dmax[child]);
       }
-      if (!is_module) break;
     }
-    if (is_module) modules.push_back(g);
+  }
+
+  std::vector<node_index> modules{ft.top()};
+  for (node_index g : preorder) {
+    if (g == ft.top()) continue;
+    if (dmin[g] > enter[g] && dmax[g] < exit[g]) modules.push_back(g);
   }
   return modules;
 }
@@ -81,11 +116,24 @@ double modular_probability(const fault_tree& ft) {
         ref = manager.var(vit->second);
       } else {
         const auto& gate = ft.node(x);
-        const bool is_and = gate.type == gate_type::and_gate;
-        ref = is_and ? manager.one() : manager.zero();
-        for (node_index child : gate.inputs) {
-          const bdd_ref c = compile(child);
-          ref = is_and ? manager.bdd_and(ref, c) : manager.bdd_or(ref, c);
+        if (gate.type == gate_type::atleast_gate) {
+          std::vector<bdd_ref> at_least(gate.k + 1, manager.zero());
+          at_least[0] = manager.one();
+          for (node_index child : gate.inputs) {
+            const bdd_ref c = compile(child);
+            for (std::uint32_t j = gate.k; j >= 1; --j) {
+              at_least[j] = manager.bdd_or(
+                  at_least[j], manager.bdd_and(c, at_least[j - 1]));
+            }
+          }
+          ref = at_least[gate.k];
+        } else {
+          const bool is_and = gate.type == gate_type::and_gate;
+          ref = is_and ? manager.one() : manager.zero();
+          for (node_index child : gate.inputs) {
+            const bdd_ref c = compile(child);
+            ref = is_and ? manager.bdd_and(ref, c) : manager.bdd_or(ref, c);
+          }
         }
       }
       memo.emplace(x, ref);

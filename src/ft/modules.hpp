@@ -12,9 +12,12 @@ namespace sdft {
 /// fault-tree analysis (Dutuit & Rauzy) and behind the mixed static/
 /// dynamic approach of [16] the paper compares against.
 ///
-/// The top gate is always a module. Uses a set-based check, O(G * E);
-/// intended for model diagnostics and the modular probability engine, not
-/// for inner loops.
+/// The top gate is always a module. Linear time: one DFS from the top
+/// assigns visit timestamps (revisits touch a node without descending), a
+/// bottom-up sweep aggregates each gate's descendant first/last touches,
+/// and a gate is a module iff those all fall strictly inside the gate's
+/// own first-expansion window. Returns the top first, then module gates
+/// in DFS first-visit order.
 std::vector<node_index> find_modules(const fault_tree& ft);
 
 /// Exact top-gate failure probability by modular decomposition: each

@@ -5,7 +5,6 @@
 #include <unordered_set>
 #include <utility>
 
-#include "ft/voting.hpp"
 #include "util/error.hpp"
 #include "util/xml.hpp"
 
@@ -120,8 +119,10 @@ fault_tree parse_openpsa(const std::string& xml_text) {
                         g.formula->tag + "> in gate '" + g.name + "'");
     }
   }
-  // Expand atleast gates in an order where their operands already exist
-  // (repeat until no progress; cycles through atleast gates are rejected).
+  // Create atleast gates in an order where their operands already exist —
+  // they stay structural (gate_type::atleast_gate); the prep layer lowers
+  // them late instead of an eager C(N, K) expansion here. (Repeat until no
+  // progress; cycles through atleast gates are rejected.)
   std::vector<const gate_definition*> pending;
   for (const auto& g : gates) {
     if (g.formula->tag == "atleast") pending.push_back(&g);
@@ -148,7 +149,11 @@ fault_tree parse_openpsa(const std::string& xml_text) {
         throw model_error("openpsa: bad 'min' on atleast gate '" +
                           (*it)->name + "'");
       }
-      add_voting_gate(ft, (*it)->name, min, inputs);
+      require_model(min >= 1 && static_cast<std::size_t>(min) <= inputs.size(),
+                    "openpsa: 'min' of atleast gate '" + (*it)->name +
+                        "' outside [1, #operands]");
+      ft.add_atleast_gate((*it)->name, static_cast<std::uint32_t>(min),
+                          inputs);
       it = pending.erase(it);
     }
     require_model(pending.size() < before,
@@ -198,10 +203,18 @@ std::string write_openpsa(const fault_tree& ft,
   for (node_index i = 0; i < ft.size(); ++i) {
     if (!ft.is_gate(i)) continue;
     const auto& gate = ft.node(i);
-    const char* connective =
-        gate.type == gate_type::and_gate ? "and" : "or";
+    std::string connective;
+    std::string open_attrs;
+    if (gate.type == gate_type::and_gate) {
+      connective = "and";
+    } else if (gate.type == gate_type::atleast_gate) {
+      connective = "atleast";
+      open_attrs = " min=\"" + std::to_string(gate.k) + "\"";
+    } else {
+      connective = "or";
+    }
     out << "    <define-gate name=\"" << xml_escape(gate.name) << "\">\n"
-        << "      <" << connective << ">\n";
+        << "      <" << connective << open_attrs << ">\n";
     for (node_index child : gate.inputs) {
       out << "        <" << (ft.is_gate(child) ? "gate" : "basic-event")
           << " name=\"" << xml_escape(ft.node(child).name) << "\"/>\n";

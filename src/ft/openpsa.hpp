@@ -26,7 +26,8 @@ namespace sdft {
 /// </opsa-mef>
 /// ```
 ///
-/// - Connectives: and, or, atleast (min attribute; expanded structurally).
+/// - Connectives: and, or, atleast (min attribute; kept structural as
+///   gate_type::atleast_gate — the prep layer lowers voting gates late).
 /// - References: <gate name=>, <basic-event name=>, <event name=>.
 /// - define-basic-event may appear inside define-fault-tree or model-data;
 ///   its probability comes from a <float value=>.

@@ -339,6 +339,13 @@ class parallel_mocus {
 mocus_result mocus_from(const fault_tree& ft, node_index root,
                         const mocus_options& opt) {
   require_model(root < ft.size(), "mocus: root index out of range");
+  for (node_index n = 0; n < ft.size(); ++n) {
+    require_model(!ft.is_gate(n) ||
+                      ft.node(n).type != gate_type::atleast_gate,
+                  "mocus: tree contains atleast gate '" + ft.node(n).name +
+                      "'; lower voting gates first (prep normalization or "
+                      "add_voting_gate)");
+  }
   const stopwatch timer;
   const expansion ex(ft, opt);
 

@@ -54,6 +54,7 @@ std::uint32_t parse_index(const std::string& tok, std::size_t line,
 struct gate_record {
   std::string name;
   gate_type type;
+  std::uint32_t k = 0;  // threshold of an atleast gate
   std::vector<std::string> children;
   std::size_t line;
 };
@@ -187,7 +188,20 @@ sd_fault_tree parse_sd_fault_tree(std::istream& in) {
       if (tok.size() < 2) fail(line_no, "expected: " + cmd + " <name> ...");
       gates.push_back({tok[1],
                        cmd == "and" ? gate_type::and_gate : gate_type::or_gate,
+                       0,
                        {tok.begin() + 2, tok.end()},
+                       line_no});
+    } else if (cmd == "atleast") {
+      if (tok.size() < 3) fail(line_no, "expected: atleast <name> <k> ...");
+      const double k = parse_number(tok[2], line_no);
+      if (k < 1.0 || k != static_cast<double>(static_cast<std::uint32_t>(k))) {
+        fail(line_no, "atleast threshold '" + tok[2] +
+                          "' is not a positive integer");
+      }
+      gates.push_back({tok[1],
+                       gate_type::atleast_gate,
+                       static_cast<std::uint32_t>(k),
+                       {tok.begin() + 3, tok.end()},
                        line_no});
     } else if (cmd == "top") {
       if (tok.size() != 2) fail(line_no, "expected: top <name>");
@@ -258,7 +272,12 @@ sd_fault_tree parse_sd_fault_tree(std::istream& in) {
   }
 
   // Wire gates (two passes: create, then connect forward references).
-  for (const auto& rec : gates) tree.add_gate(rec.name, rec.type);
+  for (const auto& rec : gates) {
+    const node_index g = tree.add_gate(rec.name, rec.type);
+    if (rec.type == gate_type::atleast_gate) {
+      tree.structure().set_threshold(g, rec.k);
+    }
+  }
   const fault_tree& ft = tree.structure();
   for (const auto& rec : gates) {
     const node_index g = ft.find(rec.name);
@@ -357,7 +376,11 @@ std::string write_sd_fault_tree(const sd_fault_tree& tree) {
   for (node_index i = 0; i < ft.size(); ++i) {
     if (!ft.is_gate(i)) continue;
     const auto& node = ft.node(i);
-    out << (node.type == gate_type::and_gate ? "and " : "or ") << node.name;
+    if (node.type == gate_type::atleast_gate) {
+      out << "atleast " << node.name << ' ' << node.k;
+    } else {
+      out << (node.type == gate_type::and_gate ? "and " : "or ") << node.name;
+    }
     for (node_index child : node.inputs) out << ' ' << ft.node(child).name;
     out << '\n';
   }

@@ -67,7 +67,11 @@ static_translation translate_to_static(const sd_fault_tree& tree, double t,
           inputs.push_back(copy(child));
         }
       }
-      bar = out.ft_bar.add_gate(node.name, node.type, inputs);
+      if (node.type == gate_type::atleast_gate) {
+        bar = out.ft_bar.add_atleast_gate(node.name, node.k, inputs);
+      } else {
+        bar = out.ft_bar.add_gate(node.name, node.type, inputs);
+      }
     }
     out.to_bar.emplace(n, bar);
     return bar;

@@ -1,8 +1,9 @@
 // Determinism regression tests for the parallel cutset-generation stage:
 // the engine must produce the identical sorted cutset list and the
 // bit-identical failure probability for every thread count, for both
-// cutset backends, and with or without the quantification cache. Exercised
-// on the BWR example study, random SD trees and a small industrial model.
+// cutset backends, with or without the quantification cache, and with the
+// prep rewrite/modularization layer on or off. Exercised on the BWR
+// example study, random SD trees and a small industrial model.
 
 #include <gtest/gtest.h>
 
@@ -26,10 +27,12 @@ struct config {
   std::size_t threads;
   cutset_backend backend;
   bool cache;
+  bool prep;
 
   std::string label() const {
     return std::string(to_string(backend)) + " threads=" +
-           std::to_string(threads) + (cache ? " cache" : " no-cache");
+           std::to_string(threads) + (cache ? " cache" : " no-cache") +
+           (prep ? " prep" : " no-prep");
   }
 };
 
@@ -38,7 +41,9 @@ std::vector<config> matrix() {
   for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     for (cutset_backend backend : {cutset_backend::mocus, cutset_backend::bdd}) {
       for (bool cache : {false, true}) {
-        out.push_back({threads, backend, cache});
+        for (bool prep : {false, true}) {
+          out.push_back({threads, backend, cache, prep});
+        }
       }
     }
   }
@@ -65,6 +70,7 @@ void expect_deterministic(const sd_fault_tree& tree, double horizon,
   opts.threads = 1;
   opts.backend = cutset_backend::mocus;
   opts.cache_quantifications = false;
+  opts.prep.enabled = false;
   const analysis_result reference = analyze(tree, opts);
   ASSERT_GT(reference.num_cutsets, 0u) << model;
   const std::vector<cutset> reference_list = cutset_list(reference);
@@ -73,6 +79,7 @@ void expect_deterministic(const sd_fault_tree& tree, double horizon,
     opts.threads = c.threads;
     opts.backend = c.backend;
     opts.cache_quantifications = c.cache;
+    opts.prep.enabled = c.prep;
     const analysis_result r = analyze(tree, opts);
     EXPECT_EQ(cutset_list(r), reference_list) << model << ": " << c.label();
     EXPECT_EQ(r.failure_probability, reference.failure_probability)

@@ -35,8 +35,8 @@ void expect_backend_agreement(const sd_fault_tree& tree,
       translate_to_static(tree, opts.horizon, opts.epsilon,
                           opts.reference_cutoff);
   const cutset_generation via_mocus =
-      mocus_source().generate(tr, opts.cutoff, nullptr);
-  const cutset_generation via_bdd = bdd_source().generate(tr, opts.cutoff, nullptr);
+      mocus_source().generate(tr.ft_bar, opts.cutoff, nullptr);
+  const cutset_generation via_bdd = bdd_source().generate(tr.ft_bar, opts.cutoff, nullptr);
   EXPECT_EQ(sorted_cutsets(via_mocus.cutsets),
             sorted_cutsets(via_bdd.cutsets));
 
@@ -69,8 +69,8 @@ TEST(CutsetSource, BackendsAgreeUnderCutoff) {
   const sd_fault_tree tree = testing::example3_sd();
   const static_translation tr = translate_to_static(tree, opts.horizon);
   const cutset_generation via_mocus =
-      mocus_source().generate(tr, opts.cutoff, nullptr);
-  const cutset_generation via_bdd = bdd_source().generate(tr, opts.cutoff, nullptr);
+      mocus_source().generate(tr.ft_bar, opts.cutoff, nullptr);
+  const cutset_generation via_bdd = bdd_source().generate(tr.ft_bar, opts.cutoff, nullptr);
   EXPECT_LT(via_mocus.cutsets.size(), 5u);
   EXPECT_EQ(sorted_cutsets(via_mocus.cutsets),
             sorted_cutsets(via_bdd.cutsets));

@@ -8,7 +8,7 @@
 //
 // Trace checks: well-formed JSON, a traceEvents array whose "X" events have
 // non-negative ts/dur, unique span ids, parent ids that resolve (or 0), and
-// one span for each of the four engine stages parented to engine.run.
+// one span for each of the five engine stages parented to engine.run.
 // Metrics checks: a flat JSON object carrying every canonical engine_stats
 // key (DESIGN.md §11) with numeric values.
 //
@@ -72,16 +72,17 @@ int check_trace(const std::string& path) {
   for (const value& e : events.as_array()) {
     if (e.at("ph").as_string() != "X") continue;
     const std::string& name = e.at("name").as_string();
-    if (name == "engine.translate" || name == "engine.generate" ||
-        name == "engine.quantify" || name == "engine.sum") {
+    if (name == "engine.translate" || name == "engine.prep" ||
+        name == "engine.generate" || name == "engine.quantify" ||
+        name == "engine.sum") {
       check(e.at("args").at("parent_id").as_number() == run_id,
             "stage span '" + name + "' not parented to engine.run");
       stages.insert(name);
     }
   }
-  check(stages.size() == 4, "missing engine stage spans (found " +
-                                std::to_string(stages.size()) + "/4)");
-  std::printf("trace ok: %zu spans, 4 engine stages\n", complete);
+  check(stages.size() == 5, "missing engine stage spans (found " +
+                                std::to_string(stages.size()) + "/5)");
+  std::printf("trace ok: %zu spans, 5 engine stages\n", complete);
   return 0;
 }
 
@@ -90,6 +91,13 @@ int check_metrics(const std::string& path) {
   check(doc.is_object(), "metrics file is not a JSON object");
   // The canonical engine_stats vocabulary (engine_stats::metrics()).
   const char* required[] = {
+      "prep.seconds",             "prep.nodes_before",
+      "prep.nodes_after",         "prep.nodes_eliminated",
+      "prep.atleast_lowered",     "prep.constants_folded",
+      "prep.gates_coalesced",     "prep.duplicates_merged",
+      "prep.common_args_merged",  "prep.absorptions",
+      "prep.passes",              "prep.modules",
+      "prep.module_cutsets",
       "engine.translate_seconds", "engine.generate_seconds",
       "engine.quantify_seconds",  "engine.sum_seconds",
       "engine.total_seconds",     "engine.cutsets",

@@ -12,6 +12,8 @@
 //          --threads N, --mode exact|under|over, --top K (rows to print),
 //          --details (per-cutset breakdown),
 //          --backend mocus|bdd (cutset source), --no-cache,
+//          --no-prep (mandatory normalisation only) and per-rewrite
+//          --no-prep-{fold,coalesce,merge,factor,absorb,modules},
 //          --stats (engine instrumentation: stage times, backend
 //          counters, quantification-cache hits/misses, pool occupancy),
 //          --trace-json FILE (Chrome trace_event spans of the run),
@@ -39,6 +41,7 @@
 #include "mcs/importance.hpp"
 #include "mcs/mocus.hpp"
 #include "obs/obs.hpp"
+#include "prep/prep.hpp"
 #include "product/product_ctmc.hpp"
 #include "sdft/classify.hpp"
 #include "sdft/parser.hpp"
@@ -67,6 +70,7 @@ struct cli_options {
   bool cache = true;
   bool lumping = true;
   bool early_termination = true;
+  prep_options prep;
   std::size_t runs = 100'000;
   std::uint64_t seed = 1;
   std::string trace_json;    ///< Chrome trace_event output path (empty: off)
@@ -82,6 +86,8 @@ struct cli_options {
       "            [--mode exact|under|over] [--top K] [--details]\n"
       "            [--backend mocus|bdd] [--no-cache] [--stats]\n"
       "            [--no-lumping] [--no-early-termination]\n"
+      "            [--no-prep] "
+      "[--no-prep-{fold,coalesce,merge,factor,absorb,modules}]\n"
       "            [--trace-json FILE] [--metrics-json FILE]\n");
   std::exit(2);
 }
@@ -115,6 +121,20 @@ cli_options parse_args(int argc, char** argv) {
       opt.lumping = false;
     } else if (arg == "--no-early-termination") {
       opt.early_termination = false;
+    } else if (arg == "--no-prep") {
+      opt.prep.enabled = false;
+    } else if (arg == "--no-prep-fold") {
+      opt.prep.fold = false;
+    } else if (arg == "--no-prep-coalesce") {
+      opt.prep.coalesce = false;
+    } else if (arg == "--no-prep-merge") {
+      opt.prep.merge_duplicates = false;
+    } else if (arg == "--no-prep-factor") {
+      opt.prep.merge_common_args = false;
+    } else if (arg == "--no-prep-absorb") {
+      opt.prep.absorb = false;
+    } else if (arg == "--no-prep-modules") {
+      opt.prep.modularize = false;
     } else if (arg == "--backend") {
       const std::string backend = next();
       if (backend == "mocus") {
@@ -156,6 +176,18 @@ sd_fault_tree load(const std::string& path) {
   return parse_sd_fault_tree(in);
 }
 
+/// Translates cutsets generated on a preprocessed tree back into source
+/// indices (prep guarantees basic events always map).
+std::vector<cutset> cutsets_to_source(const prep_result& prep,
+                                      const std::vector<cutset>& sets) {
+  std::vector<cutset> out = sets;
+  for (cutset& c : out) {
+    for (node_index& e : c) e = prep.to_source[e];
+    std::sort(c.begin(), c.end());
+  }
+  return out;
+}
+
 std::string cutset_names(const fault_tree& ft, const cutset& c) {
   std::string out = "{";
   for (std::size_t i = 0; i < c.size(); ++i) {
@@ -171,19 +203,23 @@ int cmd_static(const cli_options& opt) {
                 "'analyze' for SD models");
   const fault_tree& ft = tree.structure();
   thread_pool pool(opt.threads);
+  // MOCUS requires an AND/OR tree; prep lowers voting gates (and, with the
+  // default options, simplifies) while preserving the exact cutset list.
+  const prep_result prep = preprocess(ft, opt.prep);
   mocus_options mopts;
   mopts.cutoff = opt.cutoff;
   mopts.pool = &pool;
-  const mocus_result mcs = mocus(ft, mopts);
+  const mocus_result mcs = mocus(prep.tree, mopts);
+  const std::vector<cutset> cutsets = cutsets_to_source(prep, mcs.cutsets);
   std::printf("basic events:     %zu\n", ft.num_basic_events());
   std::printf("gates:            %zu\n", ft.num_gates());
-  std::printf("modules:          %zu\n", find_modules(ft).size());
-  std::printf("minimal cutsets:  %zu (cutoff %s)\n", mcs.cutsets.size(),
+  std::printf("modules:          %zu\n", prep.module_roots.size());
+  std::printf("minimal cutsets:  %zu (cutoff %s)\n", cutsets.size(),
               sci(opt.cutoff).c_str());
   std::printf("rare-event:       %s\n",
-              sci(rare_event_probability(ft, mcs.cutsets)).c_str());
+              sci(rare_event_probability(ft, cutsets)).c_str());
   std::printf("min-cut bound:    %s\n",
-              sci(min_cut_upper_bound(ft, mcs.cutsets)).c_str());
+              sci(min_cut_upper_bound(ft, cutsets)).c_str());
   std::printf("exact (BDD):      %s\n", sci(ft_bdd(ft).probability()).c_str());
   std::printf("exact (modular):  %s\n", sci(modular_probability(ft)).c_str());
   return 0;
@@ -194,14 +230,16 @@ int cmd_mcs(const cli_options& opt) {
   const static_translation tr =
       translate_to_static(tree, opt.horizon, 1e-10);
   thread_pool pool(opt.threads);
+  const prep_result prep = preprocess(tr.ft_bar, opt.prep);
   mocus_options mopts;
   mopts.cutoff = opt.cutoff;
   mopts.pool = &pool;
-  const mocus_result mcs = mocus(tr.ft_bar, mopts);
+  const mocus_result mcs = mocus(prep.tree, mopts);
+  const std::vector<cutset> cutsets = cutsets_to_source(prep, mcs.cutsets);
   std::printf("# %zu minimal cutsets (top %zu by probability)\n",
-              mcs.cutsets.size(), opt.top);
+              cutsets.size(), opt.top);
   std::vector<std::pair<double, const cutset*>> ranked;
-  for (const auto& c : mcs.cutsets) {
+  for (const auto& c : cutsets) {
     ranked.emplace_back(cutset_probability(tr.ft_bar, c), &c);
   }
   std::sort(ranked.begin(), ranked.end(),
@@ -219,6 +257,7 @@ void print_engine_stats(const engine_stats& s) {
   text_table table({"stage / counter", "value"});
   table.add_row({"backend", s.backend});
   table.add_row({"translate", duration_str(s.translate_seconds)});
+  table.add_row({"prep", duration_str(s.prep_seconds)});
   table.add_row({"generate cutsets", duration_str(s.generate_seconds)});
   table.add_row({"quantify", duration_str(s.quantify_seconds)});
   table.add_row({"sum + statistics", duration_str(s.sum_seconds)});
@@ -228,6 +267,21 @@ void print_engine_stats(const engine_stats& s) {
                                 " dynamic, " +
                                 std::to_string(s.static_cutsets) +
                                 " static)"});
+  table.add_row({"prep nodes", std::to_string(s.prep_nodes_before) + " -> " +
+                                   std::to_string(s.prep_nodes_after) + " (" +
+                                   std::to_string(s.prep_nodes_eliminated) +
+                                   " eliminated)"});
+  table.add_row({"prep rewrites",
+                 "atleast " + std::to_string(s.prep_atleast_lowered) +
+                     ", fold " + std::to_string(s.prep_constants_folded) +
+                     ", coalesce " + std::to_string(s.prep_gates_coalesced) +
+                     ", dup " + std::to_string(s.prep_duplicates_merged) +
+                     ", factor " + std::to_string(s.prep_common_args_merged) +
+                     ", absorb " + std::to_string(s.prep_absorptions) + " (" +
+                     std::to_string(s.prep_passes) + " passes)"});
+  table.add_row({"prep modules", std::to_string(s.prep_modules) + " (" +
+                                     std::to_string(s.prep_module_cutsets) +
+                                     " module cutsets)"});
   if (s.backend == "bdd") {
     table.add_row({"bdd nodes", std::to_string(s.bdd_nodes)});
   } else {
@@ -273,6 +327,7 @@ int cmd_analyze(const cli_options& opt) {
   aopts.cache_quantifications = opt.cache;
   aopts.lump_symmetry = opt.lumping;
   aopts.transient_early_termination = opt.early_termination;
+  aopts.prep = opt.prep;
   analysis_engine engine(aopts);
   const analysis_result result = engine.run(tree);
   std::printf("failure probability (p_rea): %s  [horizon %gh]\n",
