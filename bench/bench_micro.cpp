@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bdd/ft_bdd.hpp"
 #include "core/mcs_model.hpp"
 #include "ctmc/transient.hpp"
@@ -17,6 +19,8 @@
 #include "obs/obs.hpp"
 #include "prep/prep.hpp"
 #include "product/product_ctmc.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -315,6 +319,116 @@ void bm_prep_engine_industrial(benchmark::State& state) {
 BENCHMARK(bm_prep_engine_industrial)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Packed-bitset cutset kernels ---------------------------------------
+// The CI perf-smoke job runs exactly these via --benchmark_filter=bitset
+// and archives the JSON as BENCH_bitset.json (no thresholds; trend data
+// only). Arg(0) is the vector baseline, Arg(1) the packed kernel.
+
+/// A redundant cutset family derived from the industrial model's real
+/// minimal cutsets: the MCS list plus seeded pairwise unions (guaranteed
+/// subsumed) plus duplicates — the shape minimize_cutsets() sees from raw
+/// MOCUS output.
+const std::vector<cutset>& redundant_industrial_family() {
+  static const std::vector<cutset> family = [] {
+    mocus_options opts;
+    opts.cutoff = 1e-15;
+    const std::vector<cutset> mcs = mocus(industrial_static(), opts).cutsets;
+    rng random(0xb17);
+    std::vector<cutset> out = mcs;
+    for (std::size_t i = 0; i < 2 * mcs.size(); ++i) {
+      const cutset& a = mcs[random.below(mcs.size())];
+      const cutset& b = mcs[random.below(mcs.size())];
+      cutset joined(a.size() + b.size());
+      std::merge(a.begin(), a.end(), b.begin(), b.end(), joined.begin());
+      joined.erase(std::unique(joined.begin(), joined.end()), joined.end());
+      out.push_back(std::move(joined));
+    }
+    return out;
+  }();
+  return family;
+}
+
+void bm_bitset_minimize_industrial(benchmark::State& state) {
+  const bool packed = state.range(0) != 0;
+  const std::vector<cutset>& family = redundant_industrial_family();
+  for (auto _ : state) {
+    std::vector<cutset> copy = family;
+    benchmark::DoNotOptimize(
+        packed ? minimize_cutsets(std::move(copy)).size()
+               : minimize_cutsets_reference(std::move(copy)).size());
+  }
+  state.counters["family"] = static_cast<double>(family.size());
+  minimize_stats stats;
+  state.counters["kept"] = static_cast<double>(
+      minimize_cutsets(family, &stats).size());
+  state.counters["mocus.subset_tests"] =
+      static_cast<double>(stats.subset_tests);
+  state.counters["bitset.words"] = static_cast<double>(stats.universe_words);
+}
+BENCHMARK(bm_bitset_minimize_industrial)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_bitset_subset_kernel(benchmark::State& state) {
+  // The raw subsumption primitive on all pairs of 256 random sorted sets
+  // over a 512-bit universe: word-loop (a & ~b) == 0 vs std::includes.
+  const bool packed = state.range(0) != 0;
+  constexpr std::size_t universe = 512;
+  constexpr std::size_t n = 256;
+  rng random(0x5e7);
+  std::vector<cutset> sets(n);
+  std::vector<packed_bitset> bits(n, packed_bitset(universe));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = 2 + random.below(11);
+    for (std::size_t j = 0; j < len; ++j) {
+      sets[i].push_back(static_cast<node_index>(random.below(universe)));
+    }
+    std::sort(sets[i].begin(), sets[i].end());
+    sets[i].erase(std::unique(sets[i].begin(), sets[i].end()), sets[i].end());
+    for (node_index e : sets[i]) bits[i].set(e);
+  }
+  for (auto _ : state) {
+    std::size_t subsets = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (packed) {
+          subsets += bits[i].is_subset_of(bits[j]) ? 1 : 0;
+        } else {
+          subsets += std::includes(sets[j].begin(), sets[j].end(),
+                                   sets[i].begin(), sets[i].end())
+                         ? 1
+                         : 0;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(subsets);
+  }
+}
+BENCHMARK(bm_bitset_subset_kernel)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_bitset_ordering_bwr(benchmark::State& state) {
+  // Variable-ordering A/B on the static BWR tree: compile + exact
+  // probability per ordering (0 dfs, 1 natural, 2 weight, 3 sift).
+  const auto ordering = static_cast<bdd_ordering>(state.range(0));
+  for (auto _ : state) {
+    const ft_bdd compiled(bwr_static(), fault_tree::npos, ordering);
+    benchmark::DoNotOptimize(compiled.probability());
+  }
+  const ft_bdd last(bwr_static(), fault_tree::npos, ordering);
+  state.counters["bdd.nodes"] = static_cast<double>(last.node_count());
+  state.counters["bdd.sift_swaps"] = static_cast<double>(last.sift_swaps());
+}
+BENCHMARK(bm_bitset_ordering_bwr)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 // --- Observability overhead (DESIGN.md §11). The acceptance bar is <2%

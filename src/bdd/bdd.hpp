@@ -46,12 +46,30 @@ class bdd_manager {
   bdd_ref minimal_solutions(bdd_ref f);
 
   /// Enumerates the products of a minimal-solutions BDD: each inner vector
-  /// is the sorted set of variables taken positively on a 1-path with a
-  /// "high" edge. For minimal_solutions(f) of coherent f these are exactly
-  /// the minimal cutsets.
+  /// is the set of variables taken positively on a 1-path with a "high"
+  /// edge, in variable order. For minimal_solutions(f) of coherent f these
+  /// are exactly the minimal cutsets.
   std::vector<std::vector<std::uint32_t>> enumerate_products(bdd_ref f) const;
 
-  /// Number of live nodes (including both terminals).
+  /// Returns f with the roles of the adjacent variables v and v+1
+  /// exchanged: the result, read with the two variables' external meanings
+  /// swapped, denotes the same function. This is the elementary step of
+  /// sifting-based reordering. Purely functional — new nodes are created
+  /// through the unique table, old ones become garbage until compact();
+  /// existing refs and operation caches stay structurally valid.
+  bdd_ref swap_adjacent(bdd_ref f, std::uint32_t v);
+
+  /// Number of nodes reachable from f, terminals included — the size
+  /// objective of sifting (size() also counts reordering garbage).
+  std::size_t live_nodes(bdd_ref f) const;
+
+  /// Rebuilds the manager retaining only the nodes reachable from `root`
+  /// and returns the new root. Every other ref and all operation caches
+  /// are invalidated; used to reclaim reordering garbage.
+  bdd_ref compact(bdd_ref root);
+
+  /// Number of allocated nodes (including both terminals and any
+  /// reordering garbage; see live_nodes()).
   std::size_t size() const { return nodes_.size(); }
 
  private:

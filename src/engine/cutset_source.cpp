@@ -43,6 +43,8 @@ cutset_generation mocus_source::generate(const fault_tree& ft, double cutoff,
   cutset_generation out;
   out.partials_processed = mcs.partials_processed;
   out.discarded = mcs.cutoff_discarded;
+  out.subset_tests = mcs.subset_tests;
+  out.bitset_words = mcs.key_words;
   out.cutsets = std::move(mcs.cutsets);
   sort_cutsets_canonically(out.cutsets);
   return out;
@@ -54,9 +56,11 @@ cutset_generation bdd_source::generate(const fault_tree& ft, double cutoff,
   std::optional<ft_bdd> compiled;
   {
     obs::span_scope compile_span("bdd.compile", "generate");
-    compiled.emplace(ft);
+    compiled.emplace(ft, fault_tree::npos, ordering_);
     out.bdd_nodes = compiled->node_count();
+    out.sift_swaps = compiled->sift_swaps();
     compile_span.arg("nodes", static_cast<double>(out.bdd_nodes));
+    compile_span.arg("sift_swaps", static_cast<double>(out.sift_swaps));
   }
   std::vector<cutset> kept;
   {
@@ -99,12 +103,13 @@ cutset_generation bdd_source::generate(const fault_tree& ft, double cutoff,
   return out;
 }
 
-std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend) {
+std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend,
+                                                  bdd_ordering ordering) {
   switch (backend) {
     case cutset_backend::mocus:
       return std::make_unique<mocus_source>();
     case cutset_backend::bdd:
-      return std::make_unique<bdd_source>();
+      return std::make_unique<bdd_source>(ordering);
   }
   throw model_error("unknown cutset backend");
 }

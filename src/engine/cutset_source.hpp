@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "bdd/ordering.hpp"
 #include "ft/fault_tree.hpp"
 #include "mcs/cutset.hpp"
 
@@ -42,6 +43,9 @@ struct cutset_generation {
   std::size_t discarded = 0;  ///< cutoff-discarded partials (MOCUS) or
                               ///< complete below-cutoff MCSs (BDD)
   std::size_t bdd_nodes = 0;  ///< BDD nodes compiled (BDD backend)
+  std::size_t subset_tests = 0;  ///< packed subsumption tests (MOCUS)
+  std::size_t bitset_words = 0;  ///< widest packed key, in 64-bit words
+  std::size_t sift_swaps = 0;    ///< BDD sifting swaps (bdd + sift only)
 };
 
 /// Stage-2 interface of the engine: generates the relevant minimal
@@ -78,14 +82,21 @@ class mocus_source final : public cutset_source {
 
 /// ft_bdd::minimal_cutsets() with post-hoc cutoff filtering. With a pool,
 /// the per-cutset cutoff evaluation of the minimal solutions fans out;
-/// BDD compilation stays serial.
+/// BDD compilation stays serial. The variable ordering only affects BDD
+/// size: the produced cutset list is canonical and ordering-independent.
 class bdd_source final : public cutset_source {
  public:
+  explicit bdd_source(bdd_ordering ordering = bdd_ordering::dfs)
+      : ordering_(ordering) {}
   const char* name() const override { return "bdd"; }
   cutset_generation generate(const fault_tree& ft, double cutoff,
                              thread_pool* pool) const override;
+
+ private:
+  bdd_ordering ordering_;
 };
 
-std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend);
+std::unique_ptr<cutset_source> make_cutset_source(
+    cutset_backend backend, bdd_ordering ordering = bdd_ordering::dfs);
 
 }  // namespace sdft

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "bdd/ft_bdd.hpp"
 #include "engine/modular.hpp"
 #include "obs/obs.hpp"
 #include "prep/prep.hpp"
@@ -69,8 +70,9 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
     obs::span_scope gen_span("engine.generate");
     obs::ambient_parent_scope ambient(gen_span.id());
     const std::unique_ptr<cutset_source> source =
-        make_cutset_source(options_.backend);
+        make_cutset_source(options_.backend, options_.bdd_ordering);
     stats.backend = source->name();
+    stats.bdd_ordering = to_string(options_.bdd_ordering);
     const pool_counters before_generate = pool.counters();
     modular_generation modular = generate_modular(
         prep, translation, *source, options_.cutoff, &pool);
@@ -82,6 +84,9 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
     stats.source_partials = generated.partials_processed;
     stats.source_discarded = generated.discarded;
     stats.bdd_nodes = generated.bdd_nodes;
+    stats.subset_tests = generated.subset_tests;
+    stats.bitset_words = generated.bitset_words;
+    stats.bdd_sift_swaps = generated.sift_swaps;
     stats.mocus_threads = pool.size();
     stats.mocus_tasks = after_generate.submitted - before_generate.submitted;
     stats.mocus_steals = after_generate.stolen - before_generate.stolen;
@@ -90,6 +95,22 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
     gen_span.arg("partials", static_cast<double>(stats.source_partials));
     gen_span.arg("tasks", static_cast<double>(stats.mocus_tasks));
     gen_span.arg("occupancy", stats.mocus_occupancy);
+  }
+
+  // Optional exact-static stage: one BDD over the whole preprocessed
+  // FT-bar, evaluated by Shannon decomposition — the exact static
+  // top-event probability, free of rare-event and cutoff error. It
+  // certifies stage 2's truncated sum from above and uses the same
+  // variable-ordering heuristic as the bdd backend.
+  if (options_.exact_static) {
+    stage_timer.reset();
+    obs::span_scope exact_span("engine.exact_static");
+    const ft_bdd compiled(prep.tree, fault_tree::npos, options_.bdd_ordering);
+    result.exact_static_probability = compiled.probability();
+    stats.bdd_sift_swaps += compiled.sift_swaps();
+    stats.exact_static_seconds = stage_timer.seconds();
+    exact_span.arg("nodes", static_cast<double>(compiled.node_count()));
+    exact_span.arg("probability", result.exact_static_probability);
   }
 
   // Stage 3: per-cutset quantification, in parallel (paper §V-C).

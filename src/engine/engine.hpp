@@ -52,6 +52,18 @@ struct analysis_options {
   /// Minimal-cutset generator for stage 2 (see cutset_backend).
   cutset_backend backend = cutset_backend::mocus;
 
+  /// Variable-ordering heuristic of every BDD the run compiles (the bdd
+  /// backend's stage-2 BDDs and the --exact-static BDD). Orderings change
+  /// BDD size, never the cutset list: it stays canonical and bit-identical.
+  sdft::bdd_ordering bdd_ordering = sdft::bdd_ordering::dfs;
+
+  /// Additionally compile the preprocessed FT-bar to one BDD and evaluate
+  /// the exact static top-event probability on it (Shannon decomposition;
+  /// no rare-event approximation, no cutoff truncation). Reported in
+  /// analysis_result::exact_static_probability; the dynamic pipeline is
+  /// unaffected. Surfaced as `sdft analyze --exact-static`.
+  bool exact_static = false;
+
   /// Memoise per-cutset transient solves under the structural signature of
   /// their mcs_model, so cutsets sharing dynamic sub-structure reuse the
   /// solve and only multiply their static factors.
@@ -77,6 +89,11 @@ struct analysis_options {
 struct analysis_result {
   /// Rare-event approximation over relevant cutsets (paper §V, p_rea).
   double failure_probability = 0;
+
+  /// Exact static top-event probability of FT-bar, evaluated on a BDD
+  /// (only when analysis_options::exact_static is set; 0 otherwise). An
+  /// upper bound certificate for the truncated static rare-event sum.
+  double exact_static_probability = 0;
 
   std::size_t num_cutsets = 0;          ///< relevant MCSs found on FT-bar
   std::size_t num_dynamic_cutsets = 0;  ///< MCSs quantified dynamically

@@ -19,12 +19,17 @@ struct engine_stats {
   /// Name of the cutset source used ("mocus" or "bdd").
   std::string backend;
 
+  /// BDD variable ordering of the run ("dfs", "natural", "weight",
+  /// "sift"); published as a label like `backend`.
+  std::string bdd_ordering;
+
   // Per-stage wall times (seconds).
   double translate_seconds = 0;  ///< FT-bar construction + worst-case p(a)
   double prep_seconds = 0;       ///< rewrite pipeline + modularization
   double generate_seconds = 0;   ///< minimal-cutset generation
   double quantify_seconds = 0;   ///< parallel per-cutset quantification
   double sum_seconds = 0;        ///< rare-event sum + statistics
+  double exact_static_seconds = 0;  ///< BDD exact-static stage (opt-in)
   double total_seconds = 0;
 
   // Preprocessing (src/prep) counters: what the rewrite pipeline did to
@@ -47,6 +52,9 @@ struct engine_stats {
   std::size_t source_partials = 0;   ///< MOCUS partial cutsets expanded
   std::size_t source_discarded = 0;  ///< cutoff-discarded partials / MCSs
   std::size_t bdd_nodes = 0;         ///< BDD nodes compiled (bdd backend)
+  std::size_t subset_tests = 0;      ///< packed subsumption tests (MOCUS)
+  std::size_t bitset_words = 0;      ///< widest packed key, 64-bit words
+  std::size_t bdd_sift_swaps = 0;    ///< sifting swaps (bdd + sift only)
 
   // Quantifier counters.
   std::size_t static_cutsets = 0;    ///< quantified as probability products
@@ -117,7 +125,11 @@ struct engine_stats {
         {"engine.cutsets", n(num_cutsets)},
         {"mocus.partials_expanded", n(source_partials)},
         {"mocus.cutoff_discarded", n(source_discarded)},
+        {"mocus.subset_tests", n(subset_tests)},
+        {"bitset.words", n(bitset_words)},
         {"bdd.nodes", n(bdd_nodes)},
+        {"bdd.sift_swaps", n(bdd_sift_swaps)},
+        {"engine.exact_static_seconds", exact_static_seconds},
         {"quant.static_cutsets", n(static_cutsets)},
         {"quant.dynamic_cutsets", n(dynamic_cutsets)},
         {"quant.failed", n(failed_quantifications)},
@@ -156,6 +168,7 @@ struct engine_stats {
       }
     }
     registry.set_label("engine.backend", backend);
+    registry.set_label("bdd.ordering", bdd_ordering);
   }
 };
 

@@ -218,6 +218,10 @@ modular_generation generate_modular(const prep_result& prep,
     out.generation.partials_processed += generated.partials_processed;
     out.generation.discarded += generated.discarded;
     out.generation.bdd_nodes += generated.bdd_nodes;
+    out.generation.subset_tests += generated.subset_tests;
+    out.generation.sift_swaps += generated.sift_swaps;
+    out.generation.bitset_words =
+        std::max(out.generation.bitset_words, generated.bitset_words);
     expanded[slot] = substitute(tasks[slot], std::move(generated.cutsets),
                                 slot_of, expanded);
     for (const cutset& c : expanded[slot]) {

@@ -1,8 +1,10 @@
 #include "mcs/cutset.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 
+#include "util/bitset.hpp"
 #include "util/error.hpp"
 
 namespace sdft {
@@ -27,7 +29,78 @@ double min_cut_upper_bound(const fault_tree& ft,
   return 1.0 - survive;
 }
 
-std::vector<cutset> minimize_cutsets(std::vector<cutset> sets) {
+std::vector<cutset> minimize_cutsets(std::vector<cutset> sets,
+                                     minimize_stats* stats) {
+  std::sort(sets.begin(), sets.end(), [](const cutset& a, const cutset& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  });
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+
+  // The empty cutset (a constant-failed tree) subsumes everything; the
+  // subset scheme below cannot see it because it has no members.
+  if (!sets.empty() && sets.front().empty()) return {cutset{}};
+
+  // Dense event universe: cutsets touch only a fraction of the tree's
+  // index space, so the bitsets pack the distinct members, in index order
+  // (which preserves "first element" == "minimum element").
+  std::vector<node_index> universe;
+  for (const cutset& c : sets) universe.insert(universe.end(), c.begin(), c.end());
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  const auto dense = [&](node_index e) {
+    return static_cast<std::size_t>(
+        std::lower_bound(universe.begin(), universe.end(), e) -
+        universe.begin());
+  };
+  if (stats != nullptr) {
+    stats->universe_words =
+        std::max(stats->universe_words,
+                 (universe.size() + packed_bitset::bits_per_word - 1) /
+                     packed_bitset::bits_per_word);
+  }
+
+  // Candidates arrive in (size, content) order, so every possible subsumer
+  // is already kept when its supersets are tested. A kept subset of the
+  // candidate necessarily contains some member of the candidate as its
+  // *minimum*, so sharding the kept sets under their first member bounds
+  // the word-loop subset tests to plausible subsumers only.
+  std::vector<cutset> kept;
+  std::vector<packed_bitset> kept_bits;
+  std::vector<std::vector<std::uint32_t>> by_min(universe.size());
+  std::size_t subset_tests = 0;
+  packed_bitset cand_bits(universe.size());
+  std::vector<std::size_t> cand_dense;
+  for (auto& cand : sets) {
+    cand_dense.clear();
+    for (node_index b : cand) cand_dense.push_back(dense(b));
+    for (std::size_t d : cand_dense) cand_bits.set(d);
+    bool subsumed = false;
+    for (std::size_t d : cand_dense) {
+      for (std::uint32_t k : by_min[d]) {
+        // Equal-size sets are distinct after dedup, so only strictly
+        // smaller kept sets can be proper subsets.
+        if (kept[k].size() >= cand.size()) continue;
+        ++subset_tests;
+        if (kept_bits[k].is_subset_of(cand_bits)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (subsumed) break;
+    }
+    if (!subsumed) {
+      by_min[cand_dense.front()].push_back(
+          static_cast<std::uint32_t>(kept.size()));
+      kept_bits.push_back(cand_bits);
+      kept.push_back(std::move(cand));
+    }
+    for (std::size_t d : cand_dense) cand_bits.reset(d);
+  }
+  if (stats != nullptr) stats->subset_tests += subset_tests;
+  return kept;
+}
+
+std::vector<cutset> minimize_cutsets_reference(std::vector<cutset> sets) {
   std::sort(sets.begin(), sets.end(), [](const cutset& a, const cutset& b) {
     return a.size() != b.size() ? a.size() < b.size() : a < b;
   });

@@ -24,9 +24,27 @@ double rare_event_probability(const fault_tree& ft,
 double min_cut_upper_bound(const fault_tree& ft,
                            const std::vector<cutset>& cutsets);
 
+/// Counters of one minimize_cutsets() run, for engine_stats/--stats.
+struct minimize_stats {
+  std::size_t subset_tests = 0;    ///< packed word-loop subset tests run
+  std::size_t universe_words = 0;  ///< 64-bit words per cutset bitset
+};
+
 /// Removes non-minimal sets: keeps exactly those sets with no proper subset
 /// in the input. Also deduplicates. The result is sorted by (size, content).
-std::vector<cutset> minimize_cutsets(std::vector<cutset> sets);
+/// Runs on the packed-bitset kernel (util/bitset.hpp): cutsets are mapped
+/// onto a dense event universe and subsumption is decided by word-level
+/// subset tests, sharded under the minimum member so only plausible
+/// subsumers are touched. `stats`, when non-null, accumulates the kernel
+/// counters.
+std::vector<cutset> minimize_cutsets(std::vector<cutset> sets,
+                                     minimize_stats* stats = nullptr);
+
+/// The pre-bitset element-wise implementation (sorted vectors + per-event
+/// counting), kept verbatim as the differential reference for tests and
+/// for the packed-vs-vector kernel benchmarks. Output is bit-identical to
+/// minimize_cutsets().
+std::vector<cutset> minimize_cutsets_reference(std::vector<cutset> sets);
 
 /// True iff every member of `sets` is a cutset of `ft` (fails the top gate)
 /// and no proper subset of it is. Exponential-free check used by tests.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "util/bitset.hpp"
 #include "util/error.hpp"
 #include "util/sorted_set.hpp"
 #include "util/stopwatch.hpp"
@@ -26,26 +27,18 @@ struct partial_cutset {
   double probability = 1.0;  // product over chosen events, in sorted order
 };
 
-/// Key identifying a partial for the visited-set: events, separator, gates.
-using partial_key = std::vector<node_index>;
+/// Key identifying a partial for the visited-set: one packed bitset over
+/// the tree's node-index space. Basic events and gates live in disjoint
+/// index sets, so marking both in the same width-ft.size() bitset loses
+/// nothing, and hashing/equality become word loops (util/bitset.hpp)
+/// instead of element walks over two sorted vectors.
+using partial_key = packed_bitset;
+using partial_key_hash = packed_bitset_hash;
 
-struct partial_key_hash {
-  std::size_t operator()(const partial_key& k) const {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (node_index v : k) {
-      h ^= v;
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
-
-partial_key make_key(const partial_cutset& p) {
-  partial_key key;
-  key.reserve(p.events.size() + p.gates.size() + 1);
-  key.insert(key.end(), p.events.begin(), p.events.end());
-  key.push_back(fault_tree::npos);
-  key.insert(key.end(), p.gates.begin(), p.gates.end());
+partial_key make_key(const partial_cutset& p, std::size_t width) {
+  partial_key key(width);
+  for (node_index b : p.events) key.set(b);
+  for (node_index g : p.gates) key.set(g);
   return key;
 }
 
@@ -189,12 +182,14 @@ struct expansion {
 /// visited set cleared at dedup_limit.
 mocus_result run_serial(const expansion& ex, partial_cutset seed) {
   obs::span_scope span("mocus.serial", "mocus");
+  const std::size_t width = ex.ft.size();
   mocus_result result;
+  result.key_words = partial_key(width).num_words();
   std::vector<partial_cutset> stack;
   std::unordered_set<partial_key, partial_key_hash> visited;
   std::vector<cutset> raw_cutsets;
 
-  visited.insert(make_key(seed));
+  visited.insert(make_key(seed, width));
   stack.push_back(std::move(seed));
 
   std::vector<partial_cutset> children;
@@ -213,14 +208,29 @@ mocus_result run_serial(const expansion& ex, partial_cutset seed) {
     children.clear();
     ex.expand(std::move(p), children, result.cutoff_discarded);
     for (auto& c : children) {
-      if (visited.size() >= ex.opt.dedup_limit) visited.clear();
-      if (visited.insert(make_key(c)).second) stack.push_back(std::move(c));
+      if (visited.size() >= ex.opt.dedup_limit) {
+        // Clearing at the bound keeps memory flat, but a bare clear also
+        // forgets the partials still awaiting expansion: a shared subtree
+        // reached again would re-admit a partial that is already on the
+        // stack (in the worst case the seed itself) and re-expand its
+        // whole region once per clear. Re-priming with the live stack
+        // keys makes a clear forget only *finished* work.
+        visited.clear();
+        for (const partial_cutset& live : stack) {
+          visited.insert(make_key(live, width));
+        }
+      }
+      if (visited.insert(make_key(c, width)).second) {
+        stack.push_back(std::move(c));
+      }
     }
   }
 
   span.arg("partials", static_cast<double>(result.partials_processed));
   span.arg("cutsets", static_cast<double>(raw_cutsets.size()));
-  result.cutsets = minimize_cutsets(std::move(raw_cutsets));
+  minimize_stats min_stats;
+  result.cutsets = minimize_cutsets(std::move(raw_cutsets), &min_stats);
+  result.subset_tests = min_stats.subset_tests;
   return result;
 }
 
@@ -243,6 +253,7 @@ class parallel_mocus {
 
   mocus_result run(partial_cutset seed) {
     mocus_result result;
+    result.key_words = partial_key(ex_.ft.size()).num_words();
     mark_visited(seed);
     pool_.submit([this, p = std::move(seed)]() mutable { run_task(std::move(p)); });
     pool_.wait_idle();  // rethrows the numeric_error of a tripped valve
@@ -255,7 +266,9 @@ class parallel_mocus {
     }
     result.partials_processed = processed_.load(std::memory_order_relaxed);
     result.threads_used = pool_.size();
-    result.cutsets = minimize_cutsets(std::move(raw));
+    minimize_stats min_stats;
+    result.cutsets = minimize_cutsets(std::move(raw), &min_stats);
+    result.subset_tests = min_stats.subset_tests;
     return result;
   }
 
@@ -276,10 +289,14 @@ class parallel_mocus {
   };
 
   bool mark_visited(const partial_cutset& p) {
-    partial_key key = make_key(p);
+    partial_key key = make_key(p, ex_.ft.size());
     const std::size_t h = partial_key_hash{}(key);
     visited_shard& shard = shards_[h % num_shards];
     std::lock_guard lock(shard.mutex);
+    // A shard clear can re-admit partials still queued on other workers'
+    // deques (they are unreachable from here); unlike the serial driver
+    // the duplicate work is bounded by shard_limit_ re-expansions and the
+    // result set is unaffected — minimize_cutsets() dedups.
     if (shard.set.size() >= shard_limit_) shard.set.clear();
     return shard.set.insert(std::move(key)).second;
   }

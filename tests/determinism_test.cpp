@@ -1,9 +1,10 @@
 // Determinism regression tests for the parallel cutset-generation stage:
 // the engine must produce the identical sorted cutset list and the
 // bit-identical failure probability for every thread count, for both
-// cutset backends, with or without the quantification cache, and with the
-// prep rewrite/modularization layer on or off. Exercised on the BWR
-// example study, random SD trees and a small industrial model.
+// cutset backends, with or without the quantification cache, with the
+// prep rewrite/modularization layer on or off, and for every BDD variable
+// ordering (the canonical cutset list is ordering-independent). Exercised
+// on the BWR example study, random SD trees and a small industrial model.
 
 #include <gtest/gtest.h>
 
@@ -28,22 +29,31 @@ struct config {
   cutset_backend backend;
   bool cache;
   bool prep;
+  bdd_ordering ordering;
 
   std::string label() const {
     return std::string(to_string(backend)) + " threads=" +
            std::to_string(threads) + (cache ? " cache" : " no-cache") +
-           (prep ? " prep" : " no-prep");
+           (prep ? " prep" : " no-prep") + " ordering=" + to_string(ordering);
   }
 };
 
 std::vector<config> matrix() {
   std::vector<config> out;
   for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
-    for (cutset_backend backend : {cutset_backend::mocus, cutset_backend::bdd}) {
+    for (bool prep : {false, true}) {
       for (bool cache : {false, true}) {
-        for (bool prep : {false, true}) {
-          out.push_back({threads, backend, cache, prep});
-        }
+        out.push_back(
+            {threads, cutset_backend::mocus, cache, prep, bdd_ordering::dfs});
+        out.push_back(
+            {threads, cutset_backend::bdd, cache, prep, bdd_ordering::dfs});
+      }
+      // BDD variable orderings only change BDD shape, never the canonical
+      // cutset list — every ordering must reproduce the reference bit for
+      // bit (one cache setting keeps the matrix affordable).
+      for (bdd_ordering ordering : {bdd_ordering::natural, bdd_ordering::weight,
+                                    bdd_ordering::sift}) {
+        out.push_back({threads, cutset_backend::bdd, true, prep, ordering});
       }
     }
   }
@@ -80,6 +90,7 @@ void expect_deterministic(const sd_fault_tree& tree, double horizon,
     opts.backend = c.backend;
     opts.cache_quantifications = c.cache;
     opts.prep.enabled = c.prep;
+    opts.bdd_ordering = c.ordering;
     const analysis_result r = analyze(tree, opts);
     EXPECT_EQ(cutset_list(r), reference_list) << model << ": " << c.label();
     EXPECT_EQ(r.failure_probability, reference.failure_probability)

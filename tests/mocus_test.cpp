@@ -8,6 +8,7 @@
 #include "test_models.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sdft {
 namespace {
@@ -131,6 +132,59 @@ TEST(Mocus, PartialLimitThrows) {
   mocus_options opt;
   opt.max_partials = 2;
   EXPECT_THROW(mocus(ft, opt), numeric_error);
+}
+
+TEST(Mocus, TinyDedupLimitStaysCorrectAndBounded) {
+  // Regression for the dedup_limit clearing edge: a bare visited.clear()
+  // also forgot the partials still awaiting expansion, so a shared subtree
+  // could re-admit a live stack partial (in the worst case the seed) and
+  // re-expand its whole region once per clear. The clear now re-primes the
+  // visited set with the live stack keys, so arbitrarily small limits must
+  // yield the identical cutset list with bounded duplicate work.
+  fault_tree ft;  // AND of shared ORs: every pair path reaches shared partials
+  std::vector<node_index> ors;
+  std::vector<node_index> events;
+  for (int i = 0; i < 4; ++i) {
+    events.push_back(
+        ft.add_basic_event("x" + std::to_string(i), 0.1 + 0.01 * i));
+  }
+  for (int g = 0; g < 3; ++g) {
+    ors.push_back(ft.add_gate("or" + std::to_string(g), gate_type::or_gate,
+                              {events[g], events[g + 1]}));
+  }
+  ft.set_top(ft.add_gate("top", gate_type::and_gate, ors));
+
+  const mocus_result baseline = mocus(ft);
+  ASSERT_GT(baseline.cutsets.size(), 0u);
+  for (const std::size_t limit : {1, 2, 3, 8}) {
+    mocus_options opt;
+    opt.dedup_limit = limit;
+    const mocus_result limited = mocus(ft, opt);
+    EXPECT_EQ(limited.cutsets, baseline.cutsets) << "dedup_limit " << limit;
+    // Clears may re-expand partials whose keys were forgotten, but never
+    // re-admit live stack work: the blowup stays a small constant factor.
+    EXPECT_LE(limited.partials_processed, 20 * baseline.partials_processed)
+        << "dedup_limit " << limit;
+  }
+
+  // Same contract for the sharded parallel driver.
+  thread_pool pool(4);
+  mocus_options par;
+  par.dedup_limit = 2;
+  par.pool = &pool;
+  const mocus_result parallel = mocus(ft, par);
+  EXPECT_EQ(parallel.cutsets, baseline.cutsets);
+}
+
+TEST(Mocus, TinyDedupLimitOnRandomTrees) {
+  for (const std::uint64_t seed : {2u, 9u, 17u}) {
+    const sd_fault_tree tree = testing::make_random_static_tree(seed, 9, 5);
+    const fault_tree& ft = tree.structure();
+    const std::vector<cutset> expected = mocus(ft).cutsets;
+    mocus_options opt;
+    opt.dedup_limit = 1;
+    EXPECT_EQ(mocus(ft, opt).cutsets, expected) << "seed " << seed;
+  }
 }
 
 TEST(MinimizeCutsets, RemovesSupersetsAndDuplicates) {

@@ -11,7 +11,10 @@
 // Options: --horizon H (hours, default 24), --cutoff C (default 0),
 //          --threads N, --mode exact|under|over, --top K (rows to print),
 //          --details (per-cutset breakdown),
-//          --backend mocus|bdd (cutset source), --no-cache,
+//          --backend mocus|bdd (cutset source),
+//          --bdd-ordering dfs|natural|weight|sift (BDD variable order),
+//          --exact-static (exact static FT-bar probability via one BDD),
+//          --no-cache,
 //          --no-prep (mandatory normalisation only) and per-rewrite
 //          --no-prep-{fold,coalesce,merge,factor,absorb,modules},
 //          --stats (engine instrumentation: stage times, backend
@@ -67,6 +70,8 @@ struct cli_options {
   bool details = false;
   bool stats = false;
   cutset_backend backend = cutset_backend::mocus;
+  sdft::bdd_ordering bdd_ordering = sdft::bdd_ordering::dfs;
+  bool exact_static = false;
   bool cache = true;
   bool lumping = true;
   bool early_termination = true;
@@ -85,6 +90,7 @@ struct cli_options {
       "            [--horizon H] [--cutoff C] [--threads N]\n"
       "            [--mode exact|under|over] [--top K] [--details]\n"
       "            [--backend mocus|bdd] [--no-cache] [--stats]\n"
+      "            [--bdd-ordering dfs|natural|weight|sift] [--exact-static]\n"
       "            [--no-lumping] [--no-early-termination]\n"
       "            [--no-prep] "
       "[--no-prep-{fold,coalesce,merge,factor,absorb,modules}]\n"
@@ -144,6 +150,12 @@ cli_options parse_args(int argc, char** argv) {
       } else {
         usage();
       }
+    } else if (arg == "--bdd-ordering") {
+      const auto ordering = parse_bdd_ordering(next());
+      if (!ordering) usage();
+      opt.bdd_ordering = *ordering;
+    } else if (arg == "--exact-static") {
+      opt.exact_static = true;
     } else if (arg == "--runs") {
       opt.runs = std::stoul(next());
     } else if (arg == "--seed") {
@@ -220,7 +232,9 @@ int cmd_static(const cli_options& opt) {
               sci(rare_event_probability(ft, cutsets)).c_str());
   std::printf("min-cut bound:    %s\n",
               sci(min_cut_upper_bound(ft, cutsets)).c_str());
-  std::printf("exact (BDD):      %s\n", sci(ft_bdd(ft).probability()).c_str());
+  std::printf("exact (BDD):      %s\n",
+              sci(ft_bdd(ft, fault_tree::npos, opt.bdd_ordering).probability())
+                  .c_str());
   std::printf("exact (modular):  %s\n", sci(modular_probability(ft)).c_str());
   return 0;
 }
@@ -284,10 +298,19 @@ void print_engine_stats(const engine_stats& s) {
                                      " module cutsets)"});
   if (s.backend == "bdd") {
     table.add_row({"bdd nodes", std::to_string(s.bdd_nodes)});
+    table.add_row({"bdd ordering", s.bdd_ordering + " (" +
+                                       std::to_string(s.bdd_sift_swaps) +
+                                       " sift swaps)"});
   } else {
     table.add_row({"mocus partials", std::to_string(s.source_partials)});
+    table.add_row({"mocus subset tests",
+                   std::to_string(s.subset_tests) + " (" +
+                       std::to_string(s.bitset_words) + "-word keys)"});
   }
   table.add_row({"cutoff discarded", std::to_string(s.source_discarded)});
+  if (s.exact_static_seconds > 0) {
+    table.add_row({"exact static", duration_str(s.exact_static_seconds)});
+  }
   table.add_row(
       {"failed quantifications", std::to_string(s.failed_quantifications)});
   table.add_row({"lumped orbits",
@@ -324,6 +347,8 @@ int cmd_analyze(const cli_options& opt) {
   aopts.threads = opt.threads;
   aopts.mode = opt.mode;
   aopts.backend = opt.backend;
+  aopts.bdd_ordering = opt.bdd_ordering;
+  aopts.exact_static = opt.exact_static;
   aopts.cache_quantifications = opt.cache;
   aopts.lump_symmetry = opt.lumping;
   aopts.transient_early_termination = opt.early_termination;
@@ -335,6 +360,11 @@ int cmd_analyze(const cli_options& opt) {
   std::printf("cutsets: %zu (%zu dynamic), mean dyn events %.2f (%.2f added)\n",
               result.num_cutsets, result.num_dynamic_cutsets,
               result.mean_dynamic_events, result.mean_added_dynamic_events);
+  if (opt.exact_static) {
+    std::printf("exact static probability (BDD, ordering %s): %s\n",
+                to_string(opt.bdd_ordering),
+                sci(result.exact_static_probability).c_str());
+  }
   std::printf("times: translate %.2fs, MCS %.2fs, quantify %.2fs\n",
               result.translate_seconds, result.mcs_seconds,
               result.quantify_seconds);
