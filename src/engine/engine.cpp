@@ -1,5 +1,10 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "bdd/ft_bdd.hpp"
@@ -12,104 +17,288 @@
 
 namespace sdft {
 
+namespace {
+
+/// FT-bar probability per SD node index (0 for gates): a run's parameter
+/// point in the structure cache's envelope space. Basic events unreachable
+/// from the top (never translated, so absent from to_bar) cannot appear in
+/// any cutset; they stay 0 on both sides of the dominance check.
+std::vector<double> ft_bar_point(const sd_fault_tree& tree,
+                                 const static_translation& translation) {
+  const fault_tree& ft = tree.structure();
+  std::vector<double> point(ft.size(), 0.0);
+  for (node_index n = 0; n < ft.size(); ++n) {
+    if (!ft.is_basic(n)) continue;
+    const auto it = translation.to_bar.find(n);
+    if (it == translation.to_bar.end()) continue;
+    point[n] = translation.ft_bar.node(it->second).probability;
+  }
+  return point;
+}
+
+void fill_prep_stats(engine_stats& stats, const prep_stats& p) {
+  stats.prep_nodes_before = p.nodes_before;
+  stats.prep_nodes_after = p.nodes_after;
+  stats.prep_nodes_eliminated = p.nodes_eliminated();
+  stats.prep_atleast_lowered = p.atleast_lowered;
+  stats.prep_constants_folded = p.constants_folded;
+  stats.prep_gates_coalesced = p.gates_coalesced;
+  stats.prep_duplicates_merged = p.duplicates_merged;
+  stats.prep_common_args_merged = p.common_args_merged;
+  stats.prep_absorptions = p.absorptions;
+  stats.prep_passes = p.passes;
+  stats.prep_modules = p.modules_found;
+}
+
+/// Per-prep-node probability overrides from the run's own FT-bar — the
+/// inputs the exact-static BDD evaluates under. Complete over the basic
+/// events, so evaluation is independent of the probabilities frozen into
+/// the (possibly cached) prep tree.
+std::unordered_map<node_index, double> exact_static_overrides(
+    const structure_entry& entry, const static_translation& translation) {
+  std::unordered_map<node_index, double> overrides;
+  const fault_tree& prep_tree = *entry.prep_tree;
+  overrides.reserve(prep_tree.num_basic_events());
+  for (node_index b = 0; b < prep_tree.size(); ++b) {
+    if (!prep_tree.is_basic(b)) continue;
+    overrides.emplace(
+        b, translation.ft_bar.node(entry.prep_to_source[b]).probability);
+  }
+  return overrides;
+}
+
+/// parallel_for when a pool exists, a plain loop inline.
+void for_each_index(thread_pool* pool, std::size_t n,
+                    const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    parallel_for(*pool, n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+struct analysis_engine::acquired_structure {
+  static_translation translation;
+
+  /// Stage-2 output filtered for this run (SD space, canonical order).
+  cutset_generation generation;
+  std::size_t module_cutsets = 0;
+
+  /// The structure-level artifacts (prep tree, source maps, lazily
+  /// compiled exact-static BDDs). From the cache on a hit, freshly built
+  /// otherwise; only stored back when the structure cache is enabled.
+  std::shared_ptr<const structure_entry> entry;
+  bool from_cache = false;
+};
+
 analysis_engine::analysis_engine(analysis_options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      cache_(options_.quant_cache_entries),
+      struct_cache_(options_.structure_cache_entries) {}
 
-analysis_result analysis_engine::run(const sd_fault_tree& tree) {
-  const stopwatch total_timer;
-  obs::span_scope run_span("engine.run");
-  analysis_result result;
-  engine_stats& stats = result.stats;
-  const std::size_t cache_hits_before = cache_.hits();
-  const std::size_t cache_misses_before = cache_.misses();
+analysis_engine::acquired_structure analysis_engine::acquire(
+    const sd_fault_tree& tree, const analysis_options& opt, thread_pool* pool,
+    engine_stats& stats) {
+  acquired_structure acq;
+  stats.backend = to_string(opt.backend);
+  stats.bdd_ordering = to_string(opt.bdd_ordering);
 
-  // Stage 1: FT-bar with worst-case probabilities (paper §V-B).
+  // Stage 1: FT-bar with worst-case probabilities (paper §V-B). Always
+  // fresh — it carries the run's parameter point.
   stopwatch stage_timer;
-  const static_translation translation = [&] {
+  acq.translation = [&] {
     obs::span_scope span("engine.translate");
     span.arg("events", static_cast<double>(tree.structure().size()));
-    return translate_to_static(tree, options_.horizon, options_.epsilon,
-                               options_.reference_cutoff);
+    return translate_to_static(tree, opt.horizon, opt.epsilon,
+                               opt.reference_cutoff);
   }();
   stats.translate_seconds = stage_timer.seconds();
+
+  std::string key;
+  std::vector<double> point;
+  if (opt.use_structure_cache) {
+    key = structural_signature(tree, opt.prep);
+    point = ft_bar_point(tree, acq.translation);
+    std::shared_ptr<const structure_entry> entry = struct_cache_.probe(key);
+    if (entry != nullptr && envelope_dominates(*entry, point, opt.cutoff)) {
+      // Hit: stages 1b–2 replay from the cache. Re-filtering the stored
+      // list by this run's own probabilities yields exactly the list a
+      // fresh generation would (see struct_cache.hpp); prep counters are
+      // replayed, generation counters stay honestly zero.
+      struct_cache_.record_hit();
+      stats.struct_cache_hits = 1;
+      stage_timer.reset();
+      obs::span_scope span("engine.reuse");
+      fill_prep_stats(stats, entry->pstats);
+      const fault_tree& bar = acq.translation.ft_bar;
+      auto& kept = acq.generation.cutsets;
+      kept.reserve(entry->cutsets.size());
+      for (std::size_t i = 0; i < entry->cutsets.size(); ++i) {
+        if (opt.cutoff > 0.0) {
+          double p = 1.0;
+          for (node_index e : entry->prep_cutsets[i]) {
+            p *= bar.node(entry->prep_to_source[e]).probability;
+          }
+          if (p < opt.cutoff) {
+            ++acq.generation.discarded;
+            continue;
+          }
+        }
+        kept.push_back(entry->cutsets[i]);
+      }
+      stats.generate_seconds = stage_timer.seconds();
+      stats.num_cutsets = kept.size();
+      stats.source_discarded = acq.generation.discarded;
+      span.arg("cached", static_cast<double>(entry->cutsets.size()));
+      span.arg("cutsets", static_cast<double>(kept.size()));
+      acq.entry = std::move(entry);
+      acq.from_cache = true;
+      return acq;
+    }
+    struct_cache_.record_miss();
+    stats.struct_cache_misses = 1;
+  }
 
   // Stage 1b: preprocessing — normalise, simplify and modularise FT-bar
   // before any cutset is generated (every rewrite preserves the structure
   // function, so the cutset list and probability are unchanged).
   stage_timer.reset();
-  const prep_result prep = [&] {
+  prep_result prep = [&] {
     obs::span_scope span("engine.prep");
-    prep_result p = preprocess(translation.ft_bar, options_.prep);
+    prep_result p = preprocess(acq.translation.ft_bar, opt.prep);
     span.arg("nodes_before", static_cast<double>(p.stats.nodes_before));
     span.arg("nodes_after", static_cast<double>(p.stats.nodes_after));
     span.arg("modules", static_cast<double>(p.stats.modules_found));
     return p;
   }();
   stats.prep_seconds = stage_timer.seconds();
-  stats.prep_nodes_before = prep.stats.nodes_before;
-  stats.prep_nodes_after = prep.stats.nodes_after;
-  stats.prep_nodes_eliminated = prep.stats.nodes_eliminated();
-  stats.prep_atleast_lowered = prep.stats.atleast_lowered;
-  stats.prep_constants_folded = prep.stats.constants_folded;
-  stats.prep_gates_coalesced = prep.stats.gates_coalesced;
-  stats.prep_duplicates_merged = prep.stats.duplicates_merged;
-  stats.prep_common_args_merged = prep.stats.common_args_merged;
-  stats.prep_absorptions = prep.stats.absorptions;
-  stats.prep_passes = prep.stats.passes;
-  stats.prep_modules = prep.stats.modules_found;
-
-  // One pool serves stage 2 (cutset generation) and stage 3
-  // (quantification); counter snapshots attribute activity per stage.
-  thread_pool pool(options_.threads);
+  fill_prep_stats(stats, prep.stats);
 
   // Stage 2: relevant minimal cutsets through the selected source, one
   // subproblem per prep module, recombined to the exact full list.
   stage_timer.reset();
-  cutset_generation generated;
   {
     obs::span_scope gen_span("engine.generate");
     obs::ambient_parent_scope ambient(gen_span.id());
     const std::unique_ptr<cutset_source> source =
-        make_cutset_source(options_.backend, options_.bdd_ordering);
+        make_cutset_source(opt.backend, opt.bdd_ordering);
     stats.backend = source->name();
-    stats.bdd_ordering = to_string(options_.bdd_ordering);
-    const pool_counters before_generate = pool.counters();
-    modular_generation modular = generate_modular(
-        prep, translation, *source, options_.cutoff, &pool);
-    generated = std::move(modular.generation);
+    const pool_counters before_generate =
+        pool != nullptr ? pool->counters() : pool_counters{};
+    modular_generation modular =
+        generate_modular(prep, acq.translation, *source, opt.cutoff, pool);
+    acq.generation = std::move(modular.generation);
+    acq.module_cutsets = modular.module_cutsets;
     stats.prep_module_cutsets = modular.module_cutsets;
-    const pool_counters after_generate = pool.counters();
     stats.generate_seconds = stage_timer.seconds();
-    stats.num_cutsets = generated.cutsets.size();
-    stats.source_partials = generated.partials_processed;
-    stats.source_discarded = generated.discarded;
-    stats.bdd_nodes = generated.bdd_nodes;
-    stats.subset_tests = generated.subset_tests;
-    stats.bitset_words = generated.bitset_words;
-    stats.bdd_sift_swaps = generated.sift_swaps;
-    stats.mocus_threads = pool.size();
-    stats.mocus_tasks = after_generate.submitted - before_generate.submitted;
-    stats.mocus_steals = after_generate.stolen - before_generate.stolen;
-    stats.mocus_occupancy = after_generate.occupancy_since(before_generate);
+    stats.num_cutsets = acq.generation.cutsets.size();
+    stats.source_partials = acq.generation.partials_processed;
+    stats.source_discarded = acq.generation.discarded;
+    stats.bdd_nodes = acq.generation.bdd_nodes;
+    stats.subset_tests = acq.generation.subset_tests;
+    stats.bitset_words = acq.generation.bitset_words;
+    stats.bdd_sift_swaps = acq.generation.sift_swaps;
+    if (pool != nullptr) {
+      const pool_counters after_generate = pool->counters();
+      stats.mocus_threads = pool->size();
+      stats.mocus_tasks = after_generate.submitted - before_generate.submitted;
+      stats.mocus_steals = after_generate.stolen - before_generate.stolen;
+      stats.mocus_occupancy = after_generate.occupancy_since(before_generate);
+    } else {
+      stats.mocus_threads = 1;
+    }
     gen_span.arg("cutsets", static_cast<double>(stats.num_cutsets));
     gen_span.arg("partials", static_cast<double>(stats.source_partials));
     gen_span.arg("tasks", static_cast<double>(stats.mocus_tasks));
     gen_span.arg("occupancy", stats.mocus_occupancy);
   }
 
+  // Park the structure-level artifacts: the unfiltered canonical list in
+  // both index spaces, the generation envelope, and the prep tree (for
+  // exact-static BDD reuse). Stored even over an existing entry — a run
+  // that escaped the old envelope re-anchors the key to its own.
+  auto entry = std::make_shared<structure_entry>();
+  entry->cutsets = acq.generation.cutsets;
+  entry->gen_cutoff = opt.cutoff;
+  entry->pstats = prep.stats;
+  entry->prep_to_source = std::move(prep.to_source);
+  entry->prep_tree =
+      std::make_shared<const fault_tree>(std::move(prep.tree));
+  if (opt.use_structure_cache) {
+    entry->envelope = std::move(point);
+    // Prep-space mirror of the cutsets, through the inverse of
+    // to_source ∘ to_bar (every kept event survives prep, so the inverse
+    // is total on them).
+    std::unordered_map<node_index, node_index> bar_to_prep;
+    const fault_tree& prep_tree = *entry->prep_tree;
+    bar_to_prep.reserve(prep_tree.num_basic_events());
+    for (node_index b = 0; b < prep_tree.size(); ++b) {
+      if (prep_tree.is_basic(b)) {
+        bar_to_prep.emplace(entry->prep_to_source[b], b);
+      }
+    }
+    entry->prep_cutsets.reserve(entry->cutsets.size());
+    for (const cutset& c : entry->cutsets) {
+      cutset mapped;
+      mapped.reserve(c.size());
+      for (node_index e : c) {
+        mapped.push_back(bar_to_prep.at(acq.translation.to_bar.at(e)));
+      }
+      std::sort(mapped.begin(), mapped.end());
+      entry->prep_cutsets.push_back(std::move(mapped));
+    }
+    struct_cache_.store(key, entry);
+  }
+  acq.entry = std::move(entry);
+  return acq;
+}
+
+analysis_result analysis_engine::run(const sd_fault_tree& tree) {
+  return run(tree, options_);
+}
+
+analysis_result analysis_engine::run(const sd_fault_tree& tree,
+                                     const analysis_options& opt) {
+  const stopwatch total_timer;
+  obs::span_scope run_span("engine.run");
+  analysis_result result;
+  engine_stats& stats = result.stats;
+  const std::size_t cache_hits_before = cache_.hits();
+  const std::size_t cache_misses_before = cache_.misses();
+  const std::size_t cache_evictions_before = cache_.evictions();
+  const std::size_t struct_evictions_before = struct_cache_.evictions();
+
+  // One pool serves stage 2 (cutset generation) and stage 3
+  // (quantification) — unless the caller already runs us on a pool of its
+  // own (inline_execution), in which case every stage stays serial.
+  std::optional<thread_pool> pool;
+  if (!opt.inline_execution) pool.emplace(opt.threads);
+  thread_pool* pool_ptr = pool ? &*pool : nullptr;
+
+  // Stages 1–2 (translate, prep, generate), structure-cache aware.
+  stopwatch stage_timer;
+  acquired_structure acq = acquire(tree, opt, pool_ptr, stats);
+  cutset_generation& generated = acq.generation;
+
   // Optional exact-static stage: one BDD over the whole preprocessed
   // FT-bar, evaluated by Shannon decomposition — the exact static
-  // top-event probability, free of rare-event and cutoff error. It
-  // certifies stage 2's truncated sum from above and uses the same
-  // variable-ordering heuristic as the bdd backend.
-  if (options_.exact_static) {
+  // top-event probability, free of rare-event and cutoff error. The BDD
+  // is compiled once per (structure, ordering) and kept on the cache
+  // entry; evaluation always uses this run's own probabilities, which
+  // makes hit and miss paths bit-identical.
+  if (opt.exact_static) {
     stage_timer.reset();
     obs::span_scope exact_span("engine.exact_static");
-    const ft_bdd compiled(prep.tree, fault_tree::npos, options_.bdd_ordering);
-    result.exact_static_probability = compiled.probability();
-    stats.bdd_sift_swaps += compiled.sift_swaps();
+    std::size_t node_count = 0;
+    std::size_t sift_swaps = 0;
+    result.exact_static_probability = acq.entry->exact_static_probability(
+        opt.bdd_ordering, exact_static_overrides(*acq.entry, acq.translation),
+        &node_count, &sift_swaps);
+    stats.bdd_sift_swaps += sift_swaps;
     stats.exact_static_seconds = stage_timer.seconds();
-    exact_span.arg("nodes", static_cast<double>(compiled.node_count()));
+    exact_span.arg("nodes", static_cast<double>(node_count));
     exact_span.arg("probability", result.exact_static_probability);
   }
 
@@ -119,22 +308,23 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
     obs::span_scope quant_span("engine.quantify");
     obs::ambient_parent_scope ambient(quant_span.id());
     quantify_options qopts;
-    qopts.horizon = options_.horizon;
-    qopts.epsilon = options_.epsilon;
-    qopts.max_product_states = options_.max_product_states;
-    qopts.mode = options_.mode;
-    qopts.lump_symmetry = options_.lump_symmetry;
-    qopts.packed_state_keys = options_.packed_state_keys;
-    qopts.transient_early_termination = options_.transient_early_termination;
+    qopts.horizon = opt.horizon;
+    qopts.epsilon = opt.epsilon;
+    qopts.max_product_states = opt.max_product_states;
+    qopts.mode = opt.mode;
+    qopts.lump_symmetry = opt.lump_symmetry;
+    qopts.packed_state_keys = opt.packed_state_keys;
+    qopts.transient_early_termination = opt.transient_early_termination;
     const static_product_quantifier static_quantifier(tree);
     const product_chain_quantifier chain_quantifier(
-        tree, translation, qopts,
-        options_.cache_quantifications ? &cache_ : nullptr);
+        tree, acq.translation, qopts,
+        opt.cache_quantifications ? &cache_ : nullptr);
     result.cutsets.resize(generated.cutsets.size());
     std::vector<cutset_result>& quantified = result.cutsets;
-    stats.pool_threads = pool.size();
-    const pool_counters before_quantify = pool.counters();
-    parallel_for(pool, generated.cutsets.size(), [&](std::size_t i) {
+    stats.pool_threads = pool_ptr != nullptr ? pool_ptr->size() : 1;
+    const pool_counters before_quantify =
+        pool_ptr != nullptr ? pool_ptr->counters() : pool_counters{};
+    for_each_index(pool_ptr, generated.cutsets.size(), [&](std::size_t i) {
       cutset c = std::move(generated.cutsets[i]);
       const quantifier& q =
           static_quantifier.handles(c)
@@ -142,11 +332,15 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
               : chain_quantifier;
       quantified[i] = q.quantify(std::move(c));
     });
-    const pool_counters after_quantify = pool.counters();
     stats.quantify_seconds = stage_timer.seconds();
-    stats.quantify_tasks = after_quantify.submitted - before_quantify.submitted;
-    stats.quantify_steals = after_quantify.stolen - before_quantify.stolen;
-    stats.quantify_occupancy = after_quantify.occupancy_since(before_quantify);
+    if (pool_ptr != nullptr) {
+      const pool_counters after_quantify = pool_ptr->counters();
+      stats.quantify_tasks =
+          after_quantify.submitted - before_quantify.submitted;
+      stats.quantify_steals = after_quantify.stolen - before_quantify.stolen;
+      stats.quantify_occupancy =
+          after_quantify.occupancy_since(before_quantify);
+    }
     quant_span.arg("tasks", static_cast<double>(stats.quantify_tasks));
     quant_span.arg("occupancy", stats.quantify_occupancy);
   }
@@ -159,7 +353,7 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
     std::size_t dynamic_events_total = 0;
     std::size_t added_dynamic_total = 0;
     for (auto& q : quantified) {
-      if (options_.cutoff > 0.0 && q.probability <= options_.cutoff) continue;
+      if (opt.cutoff > 0.0 && q.probability <= opt.cutoff) continue;
       result.failure_probability += q.probability;
     }
     for (auto& q : quantified) {
@@ -196,7 +390,7 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
           static_cast<double>(added_dynamic_total) /
           static_cast<double>(result.num_dynamic_cutsets);
     }
-    if (!options_.keep_cutset_details) {
+    if (!opt.keep_cutset_details) {
       result.cutsets.clear();
       result.cutsets.shrink_to_fit();
     }
@@ -206,13 +400,20 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
 
   stats.cache_hits = cache_.hits() - cache_hits_before;
   stats.cache_misses = cache_.misses() - cache_misses_before;
+  stats.cache_evictions = cache_.evictions() - cache_evictions_before;
   stats.cache_entries = cache_.size();
+  stats.struct_cache_evictions =
+      struct_cache_.evictions() - struct_evictions_before;
+  stats.struct_cache_entries = struct_cache_.size();
   stats.total_seconds = total_timer.seconds();
   run_span.arg("cutsets", static_cast<double>(stats.num_cutsets));
+  run_span.arg("struct_cache_hit", static_cast<double>(stats.struct_cache_hits));
 
   // Publish the run's counters under their canonical registry names so a
   // --metrics-json dump (or any registry consumer) sees this run.
-  stats.publish(obs::metrics_registry::global());
+  if (opt.publish_metrics) {
+    stats.publish(obs::metrics_registry::global());
+  }
 
   // Legacy mirrors of the per-stage instrumentation.
   result.num_cutsets = stats.num_cutsets;
@@ -223,6 +424,24 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
   result.mocus_partials = stats.source_partials;
   result.mocus_discarded = stats.source_discarded;
   return result;
+}
+
+void analysis_engine::prime(const sd_fault_tree& tree) {
+  prime(tree, options_);
+}
+
+void analysis_engine::prime(const sd_fault_tree& tree,
+                            const analysis_options& options) {
+  obs::span_scope span("engine.prime");
+  analysis_options opt = options;
+  opt.use_structure_cache = true;  // priming without the cache is a no-op
+  engine_stats stats;
+  std::optional<thread_pool> pool;
+  if (!opt.inline_execution) pool.emplace(opt.threads);
+  const acquired_structure acq =
+      acquire(tree, opt, pool ? &*pool : nullptr, stats);
+  span.arg("cutsets", static_cast<double>(acq.generation.cutsets.size()));
+  span.arg("cached", acq.from_cache ? 1.0 : 0.0);
 }
 
 analysis_result analyze(const sd_fault_tree& tree,

@@ -8,9 +8,14 @@
 #include "engine/engine_stats.hpp"
 #include "engine/quant_cache.hpp"
 #include "engine/quantifier.hpp"
+#include "engine/struct_cache.hpp"
 #include "mcs/cutset.hpp"
 #include "prep/prep.hpp"
 #include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+class thread_pool;
+}
 
 namespace sdft {
 
@@ -83,6 +88,30 @@ struct analysis_options {
   /// gates lowered to AND/OR) — every rewrite preserves the structure
   /// function, so results are bit-identical either way.
   prep_options prep;
+
+  /// Reuse stages 1b–2 across run() calls on the same engine through the
+  /// structure cache: analyses whose tree differs only in parameters
+  /// (probabilities, rates, horizon) skip prep and cutset generation and
+  /// re-filter the cached list — exactly (see struct_cache.hpp). One-shot
+  /// analyze() calls see a single miss and behave as before.
+  bool use_structure_cache = true;
+
+  /// Entry bounds of the engine-owned caches, applied at engine
+  /// construction (per-call option overrides ignore them; resize live
+  /// engines through the cache accessors). 0 = unbounded.
+  std::size_t structure_cache_entries = structure_cache::default_capacity;
+  std::size_t quant_cache_entries = quantification_cache::default_capacity;
+
+  /// Run every stage on the calling thread without creating a worker
+  /// pool. For callers that already parallelise *across* analyses (the
+  /// sweep runner, the serve request handlers) — per-analysis results are
+  /// thread-count independent, so this changes nothing but scheduling.
+  bool inline_execution = false;
+
+  /// Publish the run's engine_stats into the global metrics registry at
+  /// the end (disable for per-point sweep runs, whose caller publishes
+  /// one aggregate instead of N stomping snapshots).
+  bool publish_metrics = true;
 };
 
 /// Result of the full SD analysis.
@@ -141,18 +170,45 @@ class analysis_engine {
 
   const analysis_options& options() const { return options_; }
 
-  /// Runs the full pipeline. Thread-safe with respect to the cache; do
-  /// not share one engine across concurrent run() calls on different
-  /// trees unless the trees outlive both runs.
+  /// Runs the full pipeline with the engine's options. Thread-safe with
+  /// respect to the caches; concurrent run() calls are allowed when every
+  /// involved tree outlives its run.
   analysis_result run(const sd_fault_tree& tree);
+
+  /// Runs the full pipeline with per-call options over the engine's
+  /// shared caches — how the sweep runner and the serve layer give every
+  /// point/request its own horizon and cutoff while still sharing every
+  /// cached structure and transient solve. The cache-capacity fields of
+  /// `options` are ignored (set at construction).
+  analysis_result run(const sd_fault_tree& tree,
+                      const analysis_options& options);
+
+  /// Runs stages 1–2 only (translate, prep, cutset generation) and parks
+  /// the result in the structure cache, so subsequent run() calls on the
+  /// same structure with dominated parameters are pure re-quantification.
+  /// The sweep runner primes with the envelope tree before fanning out.
+  void prime(const sd_fault_tree& tree);
+  void prime(const sd_fault_tree& tree, const analysis_options& options);
 
   /// The memoisation cache (for inspection and explicit clear()).
   quantification_cache& cache() { return cache_; }
   const quantification_cache& cache() const { return cache_; }
 
+  /// The structure cache (stages 1b–2 keyed by structural signature).
+  structure_cache& structures() { return struct_cache_; }
+  const structure_cache& structures() const { return struct_cache_; }
+
  private:
+  /// Stage 1–2 bundle shared by run() and prime().
+  struct acquired_structure;
+
+  acquired_structure acquire(const sd_fault_tree& tree,
+                             const analysis_options& opt, thread_pool* pool,
+                             engine_stats& stats);
+
   analysis_options options_;
   quantification_cache cache_;
+  structure_cache struct_cache_;
 };
 
 /// Compatibility wrapper over analysis_engine: runs the full pipeline of

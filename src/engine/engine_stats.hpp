@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <utility>
@@ -72,7 +73,15 @@ struct engine_stats {
   // Quantification-cache counters (this run only).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
-  std::size_t cache_entries = 0;  ///< entries held after the run
+  std::size_t cache_evictions = 0;  ///< LRU evictions during the run
+  std::size_t cache_entries = 0;    ///< entries held after the run
+
+  // Structure-cache counters (this run only): did stages 1b–2 replay from
+  // a cached structure instead of regenerating?
+  std::size_t struct_cache_hits = 0;
+  std::size_t struct_cache_misses = 0;
+  std::size_t struct_cache_evictions = 0;
+  std::size_t struct_cache_entries = 0;  ///< entries held after the run
 
   /// Worker threads of the quantification pool.
   std::size_t pool_threads = 0;
@@ -88,6 +97,64 @@ struct engine_stats {
   std::size_t quantify_tasks = 0;
   std::size_t quantify_steals = 0;
   double quantify_occupancy = 0;
+
+  /// Field-wise accumulation for batched runs (the sweep aggregate):
+  /// seconds and event counts sum, occupancies keep the maximum, entry
+  /// gauges and labels keep the latest snapshot.
+  void accumulate(const engine_stats& o) {
+    backend = o.backend;
+    bdd_ordering = o.bdd_ordering;
+    translate_seconds += o.translate_seconds;
+    prep_seconds += o.prep_seconds;
+    generate_seconds += o.generate_seconds;
+    quantify_seconds += o.quantify_seconds;
+    sum_seconds += o.sum_seconds;
+    exact_static_seconds += o.exact_static_seconds;
+    total_seconds += o.total_seconds;
+    prep_nodes_before += o.prep_nodes_before;
+    prep_nodes_after += o.prep_nodes_after;
+    prep_nodes_eliminated += o.prep_nodes_eliminated;
+    prep_atleast_lowered += o.prep_atleast_lowered;
+    prep_constants_folded += o.prep_constants_folded;
+    prep_gates_coalesced += o.prep_gates_coalesced;
+    prep_duplicates_merged += o.prep_duplicates_merged;
+    prep_common_args_merged += o.prep_common_args_merged;
+    prep_absorptions += o.prep_absorptions;
+    prep_passes += o.prep_passes;
+    prep_modules += o.prep_modules;
+    prep_module_cutsets += o.prep_module_cutsets;
+    num_cutsets += o.num_cutsets;
+    source_partials += o.source_partials;
+    source_discarded += o.source_discarded;
+    bdd_nodes += o.bdd_nodes;
+    subset_tests += o.subset_tests;
+    bitset_words = std::max(bitset_words, o.bitset_words);
+    bdd_sift_swaps += o.bdd_sift_swaps;
+    static_cutsets += o.static_cutsets;
+    dynamic_cutsets += o.dynamic_cutsets;
+    failed_quantifications += o.failed_quantifications;
+    lumped_orbits += o.lumped_orbits;
+    lumped_cutsets += o.lumped_cutsets;
+    packed_key_chains += o.packed_key_chains;
+    vector_key_chains += o.vector_key_chains;
+    uniformisation_steps_saved += o.uniformisation_steps_saved;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    cache_entries = o.cache_entries;
+    struct_cache_hits += o.struct_cache_hits;
+    struct_cache_misses += o.struct_cache_misses;
+    struct_cache_evictions += o.struct_cache_evictions;
+    struct_cache_entries = o.struct_cache_entries;
+    pool_threads = std::max(pool_threads, o.pool_threads);
+    mocus_threads = std::max(mocus_threads, o.mocus_threads);
+    mocus_tasks += o.mocus_tasks;
+    mocus_steals += o.mocus_steals;
+    mocus_occupancy = std::max(mocus_occupancy, o.mocus_occupancy);
+    quantify_tasks += o.quantify_tasks;
+    quantify_steals += o.quantify_steals;
+    quantify_occupancy = std::max(quantify_occupancy, o.quantify_occupancy);
+  }
 
   /// Hits / (hits + misses); 0 when no dynamic cutset was quantified.
   double cache_hit_rate() const {
@@ -140,8 +207,13 @@ struct engine_stats {
         {"transient.steps_saved", n(uniformisation_steps_saved)},
         {"quant.cache_hit", n(cache_hits)},
         {"quant.cache_miss", n(cache_misses)},
+        {"quant.cache_evictions", n(cache_evictions)},
         {"quant.cache_entries", n(cache_entries)},
         {"quant.cache_hit_rate", cache_hit_rate()},
+        {"struct_cache.hits", n(struct_cache_hits)},
+        {"struct_cache.misses", n(struct_cache_misses)},
+        {"struct_cache.evictions", n(struct_cache_evictions)},
+        {"struct_cache.entries", n(struct_cache_entries)},
         {"pool.threads", n(pool_threads)},
         {"mocus.threads", n(mocus_threads)},
         {"mocus.tasks", n(mocus_tasks)},

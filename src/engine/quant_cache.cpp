@@ -88,26 +88,44 @@ std::string mcs_model_signature(const mcs_model& model, double horizon,
   return out;
 }
 
+quantification_cache::quantification_cache(std::size_t capacity)
+    : map_(capacity) {}
+
 std::optional<quantification_cache::entry> quantification_cache::find(
     const std::string& key) const {
   std::lock_guard lock(mutex_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
+  const entry* found = map_.find(key);
+  if (found == nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  return *found;
 }
 
 void quantification_cache::store(const std::string& key, const entry& e) {
   std::lock_guard lock(mutex_);
-  map_.emplace(key, e);
+  map_.insert(key, e);
 }
 
 std::size_t quantification_cache::size() const {
   std::lock_guard lock(mutex_);
   return map_.size();
+}
+
+std::size_t quantification_cache::capacity() const {
+  std::lock_guard lock(mutex_);
+  return map_.capacity();
+}
+
+std::size_t quantification_cache::evictions() const {
+  std::lock_guard lock(mutex_);
+  return map_.evictions();
+}
+
+void quantification_cache::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  map_.set_capacity(capacity);
 }
 
 void quantification_cache::clear() {

@@ -5,9 +5,9 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "core/mcs_model.hpp"
+#include "util/lru.hpp"
 
 namespace sdft {
 
@@ -32,8 +32,17 @@ std::string mcs_model_signature(const mcs_model& model, double horizon,
 /// Keys are compared as full strings — hash collisions cannot produce
 /// wrong probabilities. Only successful solves are stored; fallbacks
 /// (e.g. product-size overflows) are re-attempted.
+///
+/// The cache is bounded: entries past `capacity` are evicted least
+/// recently used, so a resident process (sdft serve) holds its footprint
+/// steady. Eviction can only cost a re-solve, never change a result —
+/// hits replay the bit-identical solve a fresh run would produce.
 class quantification_cache {
  public:
+  /// Default entry bound; one entry is a few hundred bytes, so this caps
+  /// the cache at tens of MB in the worst case.
+  static constexpr std::size_t default_capacity = 1 << 16;
+
   struct entry {
     double chain_probability = 0;  ///< Pr[Reach<=t(Failed)] of the chain
     std::size_t chain_states = 0;  ///< product chain size
@@ -44,11 +53,15 @@ class quantification_cache {
     bool packed_keys = false;
   };
 
-  /// Returns the cached solve, counting a hit/miss.
+  explicit quantification_cache(std::size_t capacity = default_capacity);
+
+  /// Returns the cached solve, counting a hit/miss (a hit refreshes the
+  /// entry's LRU recency).
   std::optional<entry> find(const std::string& key) const;
 
   /// Inserts a solve (first writer wins; duplicates from concurrent
-  /// misses are benign since they carry the same value).
+  /// misses are benign since they carry the same value), evicting the
+  /// least recently used entry past capacity.
   void store(const std::string& key, const entry& e);
 
   std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -56,13 +69,18 @@ class quantification_cache {
     return misses_.load(std::memory_order_relaxed);
   }
   std::size_t size() const;
+  std::size_t capacity() const;
+  std::size_t evictions() const;
+
+  /// Changes the entry bound (0 = unbounded), evicting immediately.
+  void set_capacity(std::size_t capacity);
 
   /// Drops all entries and resets the counters.
   void clear();
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, entry> map_;
+  mutable lru_map<std::string, entry> map_;
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};
 };

@@ -1,0 +1,135 @@
+#include "engine/struct_cache.hpp"
+
+#include <cstring>
+
+namespace sdft {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+}  // namespace
+
+std::string structural_signature(const sd_fault_tree& tree,
+                                 const prep_options& prep) {
+  const fault_tree& ft = tree.structure();
+  std::string out;
+  out.reserve(16 * ft.size());
+  // Prep configuration: a different rewrite selection yields a different
+  // prep tree (and exact-static BDD), so it must not alias.
+  out.push_back(static_cast<char>((prep.enabled ? 1 : 0) |
+                                  (prep.fold ? 2 : 0) |
+                                  (prep.coalesce ? 4 : 0) |
+                                  (prep.merge_duplicates ? 8 : 0) |
+                                  (prep.merge_common_args ? 16 : 0) |
+                                  (prep.absorb ? 32 : 0) |
+                                  (prep.modularize ? 64 : 0)));
+  put_u32(out, prep.max_passes);
+  put_u32(out, static_cast<std::uint32_t>(ft.size()));
+  put_u32(out, ft.top());
+  for (node_index n = 0; n < ft.size(); ++n) {
+    const ft_node& node = ft.node(n);
+    if (node.kind == node_kind::gate) {
+      if (node.type == gate_type::atleast_gate) {
+        out.push_back('V');
+        put_u32(out, node.k);
+      } else {
+        out.push_back(node.type == gate_type::and_gate ? 'A' : 'O');
+      }
+      put_u32(out, static_cast<std::uint32_t>(node.inputs.size()));
+      for (node_index input : node.inputs) put_u32(out, input);
+      continue;
+    }
+    // Leaves: only the static/dynamic partition and the trigger wiring
+    // shape FT-bar; probabilities and chain contents are envelope-handled.
+    if (tree.is_dynamic(n)) {
+      out.push_back('D');
+      put_u32(out, tree.trigger_gate_of(n));
+    } else {
+      out.push_back('S');
+    }
+  }
+  return out;
+}
+
+double structure_entry::exact_static_probability(
+    bdd_ordering ordering,
+    const std::unordered_map<node_index, double>& overrides,
+    std::size_t* node_count, std::size_t* sift_swaps) const {
+  std::lock_guard lock(bdd_mutex_);
+  auto it = bdds_.find(ordering);
+  std::size_t swaps = 0;
+  if (it == bdds_.end()) {
+    auto compiled =
+        std::make_unique<ft_bdd>(*prep_tree, fault_tree::npos, ordering);
+    swaps = compiled->sift_swaps();
+    it = bdds_.emplace(ordering, std::move(compiled)).first;
+  }
+  if (node_count != nullptr) *node_count = it->second->node_count();
+  if (sift_swaps != nullptr) *sift_swaps = swaps;
+  return it->second->probability(overrides);
+}
+
+structure_cache::structure_cache(std::size_t capacity) : map_(capacity) {}
+
+std::shared_ptr<const structure_entry> structure_cache::probe(
+    const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto* found = map_.find(key);
+  return found == nullptr ? nullptr : *found;
+}
+
+void structure_cache::store(const std::string& key,
+                            std::shared_ptr<structure_entry> entry) {
+  std::lock_guard lock(mutex_);
+  map_.assign(key, std::move(entry));
+}
+
+std::size_t structure_cache::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+std::size_t structure_cache::capacity() const {
+  std::lock_guard lock(mutex_);
+  return map_.capacity();
+}
+
+std::size_t structure_cache::evictions() const {
+  std::lock_guard lock(mutex_);
+  return map_.evictions();
+}
+
+void structure_cache::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  map_.set_capacity(capacity);
+}
+
+void structure_cache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+bool envelope_dominates(const structure_entry& entry,
+                        const std::vector<double>& point, double cutoff) {
+  // A complete list (generated without truncation) re-filters exactly for
+  // any parameter point and any cutoff.
+  if (entry.gen_cutoff == 0.0) return true;
+  // A truncated list can only serve runs at least as truncated, and only
+  // when no probability rose above the generation envelope (a risen
+  // probability could promote a pruned cutset past the cutoff).
+  if (cutoff < entry.gen_cutoff) return false;
+  if (point.size() != entry.envelope.size()) return false;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    if (point[i] > entry.envelope[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace sdft

@@ -1,0 +1,234 @@
+#include "serve/service.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "engine/sweep.hpp"
+#include "obs/obs.hpp"
+#include "sdft/parser.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/json_writer.hpp"
+
+namespace sdft::serve {
+
+namespace {
+
+/// Raw JSON literal of the request's "id" (string or number), empty when
+/// absent — echoed verbatim so pipelined clients can match responses.
+std::string id_literal(const json::value& root) {
+  if (!root.contains("id")) return {};
+  const json::value& id = root.at("id");
+  if (id.is_string()) return "\"" + json::escape(id.as_string()) + "\"";
+  if (id.is_number()) return json::number(id.as_number());
+  throw error("serve: 'id' must be a string or a number");
+}
+
+double checked_probability(const std::string& name, double p) {
+  require_model(p >= 0.0 && p <= 1.0,
+                "serve: probability for '" + name + "' outside [0, 1]");
+  return p;
+}
+
+}  // namespace
+
+analysis_service::analysis_service(analysis_options engine_options)
+    : engine_(std::move(engine_options)) {}
+
+void analysis_service::load_file(const std::string& name,
+                                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw error("serve: cannot open model file '" + path + "'");
+  }
+  store_model(name,
+              std::make_shared<const sd_fault_tree>(parse_sd_fault_tree(in)));
+}
+
+void analysis_service::load_text(const std::string& name,
+                                 const std::string& text) {
+  store_model(name, std::make_shared<const sd_fault_tree>(
+                        parse_sd_fault_tree_string(text)));
+}
+
+std::size_t analysis_service::num_models() const {
+  std::shared_lock lock(models_mutex_);
+  return models_.size();
+}
+
+std::shared_ptr<const sd_fault_tree> analysis_service::model(
+    const std::string& name) const {
+  std::shared_lock lock(models_mutex_);
+  const auto it = models_.find(name);
+  require_model(it != models_.end(),
+                "serve: no model named '" + name + "' (load it first)");
+  return it->second;
+}
+
+void analysis_service::store_model(
+    const std::string& name, std::shared_ptr<const sd_fault_tree> tree) {
+  std::unique_lock lock(models_mutex_);
+  models_[name] = std::move(tree);
+}
+
+std::string analysis_service::handle(const std::string& line) {
+  auto& registry = obs::metrics_registry::global();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  registry.get_counter("serve.requests").add(1);
+  const std::size_t active = active_.fetch_add(1, std::memory_order_relaxed);
+  registry.set_gauge("serve.active", static_cast<double>(active + 1));
+  std::string id;
+  std::string response;
+  try {
+    obs::span_scope span("serve.request", "serve");
+    const json::value root = json::parse(line);
+    if (!root.is_object()) throw error("serve: request must be a JSON object");
+    id = id_literal(root);
+    const std::string& op = root.at("op").as_string();
+
+    json::writer w;
+    w.begin_object().key("ok").boolean(true);
+    if (!id.empty()) w.key("id").raw(id);
+    w.key("op").string(op);
+
+    if (op == "load") {
+      const std::string& name = root.at("name").as_string();
+      if (root.contains("path")) {
+        load_file(name, root.at("path").as_string());
+      } else if (root.contains("text")) {
+        load_text(name, root.at("text").as_string());
+      } else {
+        throw error("serve: load needs a 'path' or a 'text' field");
+      }
+      w.key("model").string(name);
+      w.key("nodes").integer(model(name)->structure().size());
+    } else if (op == "unload") {
+      const std::string& name = root.at("name").as_string();
+      std::unique_lock lock(models_mutex_);
+      require_model(models_.erase(name) > 0,
+                    "serve: no model named '" + name + "'");
+      w.key("model").string(name);
+    } else if (op == "list") {
+      w.key("models").begin_array();
+      std::shared_lock lock(models_mutex_);
+      for (const auto& [name, tree] : models_) {
+        w.begin_object()
+            .key("name")
+            .string(name)
+            .key("nodes")
+            .integer(tree->structure().size())
+            .end_object();
+      }
+      lock.unlock();
+      w.end_array();
+    } else if (op == "analyze") {
+      const auto tree = model(root.at("model").as_string());
+      analysis_options opts = engine_.options();
+      // Request handlers run concurrently (one per connection / sweep
+      // worker); each analysis runs inline and shares the engine caches.
+      opts.inline_execution = true;
+      if (root.contains("horizon")) opts.horizon = root.at("horizon").as_number();
+      if (root.contains("cutoff")) opts.cutoff = root.at("cutoff").as_number();
+      if (root.contains("exact_static")) {
+        opts.exact_static = root.at("exact_static").as_bool();
+      }
+      analysis_result result;
+      if (root.contains("overrides")) {
+        sd_fault_tree perturbed = *tree;
+        for (const auto& [name, v] : root.at("overrides").as_object()) {
+          const node_index e = perturbed.structure().find(name);
+          require_model(e != fault_tree::npos,
+                        "serve: unknown event '" + name + "'");
+          require_model(perturbed.is_static(e),
+                        "serve: event '" + name +
+                            "' is not a static basic event");
+          perturbed.structure().set_probability(
+              e, checked_probability(name, v.as_number()));
+        }
+        result = engine_.run(perturbed, opts);
+      } else {
+        result = engine_.run(*tree, opts);
+      }
+      w.key("probability").number(result.failure_probability);
+      if (opts.exact_static) {
+        w.key("exact_static_probability")
+            .number(result.exact_static_probability);
+      }
+      w.key("cutsets").integer(result.num_cutsets);
+      w.key("dynamic_cutsets").integer(result.num_dynamic_cutsets);
+      w.key("struct_cache_hit").boolean(result.stats.struct_cache_hits > 0);
+      w.key("seconds").number(result.total_seconds);
+    } else if (op == "sweep") {
+      const auto tree = model(root.at("model").as_string());
+      analysis_options opts = engine_.options();
+      if (root.contains("horizon")) opts.horizon = root.at("horizon").as_number();
+      if (root.contains("cutoff")) opts.cutoff = root.at("cutoff").as_number();
+      // The request object itself carries the sweep grammar ("points" or
+      // "params" arrays, see engine/sweep.hpp).
+      const sweep_spec spec = resolve_sweep(parse_sweep_value(root), *tree);
+      const sweep_result result = run_sweep(engine_, *tree, spec, opts);
+      w.key("points").begin_array();
+      for (std::size_t i = 0; i < result.points.size(); ++i) {
+        w.begin_object()
+            .key("label")
+            .string(spec.points[i].label)
+            .key("probability")
+            .number(result.points[i].failure_probability)
+            .key("cutsets")
+            .integer(result.points[i].num_cutsets)
+            .end_object();
+      }
+      w.end_array();
+      w.key("struct_cache_hits").integer(result.struct_cache_hits);
+      w.key("prime_seconds").number(result.prime_seconds);
+      w.key("seconds").number(result.total_seconds);
+    } else if (op == "health") {
+      w.key("status").string("ok");
+      w.key("models").integer(num_models());
+      w.key("requests").integer(requests());
+      w.key("errors").integer(errors());
+      w.key("uptime_seconds").number(uptime_.seconds());
+    } else if (op == "stats") {
+      w.key("models").integer(num_models());
+      w.key("uptime_seconds").number(uptime_.seconds());
+      w.key("struct_cache").begin_object();
+      const structure_cache& sc = engine_.structures();
+      w.key("entries").integer(sc.size());
+      w.key("capacity").integer(sc.capacity());
+      w.key("hits").integer(sc.hits());
+      w.key("misses").integer(sc.misses());
+      w.key("evictions").integer(sc.evictions());
+      w.end_object();
+      w.key("quant_cache").begin_object();
+      const quantification_cache& qc = engine_.cache();
+      w.key("entries").integer(qc.size());
+      w.key("capacity").integer(qc.capacity());
+      w.key("hits").integer(qc.hits());
+      w.key("misses").integer(qc.misses());
+      w.key("evictions").integer(qc.evictions());
+      w.end_object();
+      w.key("metrics").raw(registry.to_json());
+    } else if (op == "shutdown") {
+      shutdown_.store(true, std::memory_order_release);
+      w.key("status").string("shutting down");
+    } else {
+      throw error("serve: unknown op '" + op + "'");
+    }
+    w.end_object();
+    response = w.str();
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    registry.get_counter("serve.errors").add(1);
+    json::writer w;
+    w.begin_object().key("ok").boolean(false);
+    if (!id.empty()) w.key("id").raw(id);
+    w.key("error").string(e.what());
+    w.end_object();
+    response = w.str();
+  }
+  const std::size_t now = active_.fetch_sub(1, std::memory_order_relaxed);
+  registry.set_gauge("serve.active", static_cast<double>(now - 1));
+  return response;
+}
+
+}  // namespace sdft::serve

@@ -1,0 +1,163 @@
+#pragma once
+
+// Minimal streaming JSON writer, the output-side companion of
+// util/json.hpp: builds one JSON document into a string with correct
+// comma/nesting bookkeeping. Doubles print with %.17g (round-trip exact,
+// so equality of printed probabilities is equality of bits); NaN and
+// infinities, which JSON cannot carry, degrade to null.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sdft::json {
+
+/// JSON string escaping (quotes, backslash, control characters).
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trip-exact numeric literal for `v` (null for non-finite values).
+inline std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// One-document streaming writer. Usage:
+///   writer w;
+///   w.begin_object().key("ok").boolean(true).key("p").number(0.5);
+///   w.end_object();
+///   send(w.str());
+class writer {
+ public:
+  writer& begin_object() {
+    separate();
+    out_.push_back('{');
+    push(true);
+    return *this;
+  }
+  writer& end_object() {
+    out_.push_back('}');
+    pop();
+    return *this;
+  }
+  writer& begin_array() {
+    separate();
+    out_.push_back('[');
+    push(true);
+    return *this;
+  }
+  writer& end_array() {
+    out_.push_back(']');
+    pop();
+    return *this;
+  }
+  writer& key(const std::string& k) {
+    separate();
+    out_.push_back('"');
+    out_ += escape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+  writer& string(const std::string& v) {
+    separate();
+    out_.push_back('"');
+    out_ += escape(v);
+    out_.push_back('"');
+    return *this;
+  }
+  writer& number(double v) {
+    separate();
+    out_ += json::number(v);
+    return *this;
+  }
+  writer& integer(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  writer& boolean(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  writer& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+  /// Splices a pre-rendered JSON value (e.g. a registry to_json() dump).
+  writer& raw(const std::string& json_text) {
+    separate();
+    out_ += json_text;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate() {
+    if (pending_value_) {
+      // Value directly after key(): no comma.
+      pending_value_ = false;
+      return;
+    }
+    if (depth_ > 0 && !first_[depth_ - 1]) out_.push_back(',');
+    if (depth_ > 0) first_[depth_ - 1] = false;
+  }
+  void push(bool) {
+    if (depth_ < max_depth) first_[depth_] = true;
+    ++depth_;
+  }
+  void pop() {
+    if (depth_ > 0) --depth_;
+  }
+
+  static constexpr std::size_t max_depth = 64;
+  std::string out_;
+  bool first_[max_depth] = {};
+  std::size_t depth_ = 0;
+  bool pending_value_ = false;
+};
+
+}  // namespace sdft::json

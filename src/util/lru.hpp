@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace sdft {
+
+/// Bounded associative container with least-recently-used eviction, the
+/// storage layer shared by the engine caches (quantification_cache,
+/// structure_cache). Not thread-safe — callers hold their own lock.
+///
+/// A capacity of 0 means unbounded. find() counts as a use; insert()
+/// refuses to overwrite (first writer wins, matching the caches' "benign
+/// duplicate" contract) but still refreshes the existing entry's recency.
+/// Evictions are counted so the caches can surface them in engine_stats.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class lru_map {
+ public:
+  explicit lru_map(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Pointer to the value (refreshed as most recent), or nullptr. The
+  /// pointer is invalidated by any later insert/erase/set_capacity.
+  Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (key, value) as most recent, evicting from the cold end past
+  /// capacity. Returns false (and only refreshes recency) if the key
+  /// already exists.
+  bool insert(const Key& key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return false;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    trim();
+    return true;
+  }
+
+  /// Inserts or overwrites (key, value) as most recent, evicting from the
+  /// cold end past capacity.
+  void assign(const Key& key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    trim();
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t evictions() const { return evictions_; }
+
+  /// Changes the bound (0 = unbounded) and evicts immediately if needed.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    trim();
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+    evictions_ = 0;
+  }
+
+ private:
+  void trim() {
+    while (capacity_ != 0 && index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  std::size_t capacity_;
+  std::size_t evictions_ = 0;
+  std::list<std::pair<Key, Value>> order_;  ///< front = most recently used
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash>
+      index_;
+};
+
+}  // namespace sdft

@@ -1,0 +1,308 @@
+// Serve-layer tests: the NDJSON protocol (every op, id echo, error
+// responses), bit-exactness of served probabilities against direct engine
+// runs (%.17g round-trips doubles exactly), the stdio and TCP transports,
+// and a concurrent request hammer (a TSan target) over the shared caches.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "sdft/parser.hpp"
+#include "serve/service.hpp"
+#include "serve/transport.hpp"
+#include "test_models.hpp"
+#include "util/json.hpp"
+
+namespace sdft {
+namespace {
+
+using namespace sdft::testing;
+
+std::string example_text() { return write_sd_fault_tree(example3_sd()); }
+
+serve::analysis_service make_service() {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  return serve::analysis_service(opts);
+}
+
+json::value handle(serve::analysis_service& service, const std::string& req) {
+  return json::parse(service.handle(req));
+}
+
+TEST(Serve, LoadListAnalyzeUnload) {
+  serve::analysis_service service = make_service();
+  service.load_text("cooling", example_text());
+  EXPECT_EQ(service.num_models(), 1u);
+
+  const json::value list = handle(service, R"({"op":"list"})");
+  EXPECT_TRUE(list.at("ok").as_bool());
+  ASSERT_EQ(list.at("models").as_array().size(), 1u);
+  EXPECT_EQ(list.at("models").as_array()[0].at("name").as_string(),
+            "cooling");
+
+  const json::value r =
+      handle(service, R"({"op":"analyze","model":"cooling"})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  analysis_options opts;
+  opts.horizon = 24.0;
+  const analysis_result direct = analyze(example3_sd(), opts);
+  // %.17g round-trips doubles exactly, so JSON equality is bit equality.
+  EXPECT_EQ(r.at("probability").as_number(), direct.failure_probability);
+  EXPECT_EQ(static_cast<std::size_t>(r.at("cutsets").as_number()),
+            direct.num_cutsets);
+
+  const json::value gone =
+      handle(service, R"({"op":"unload","name":"cooling"})");
+  EXPECT_TRUE(gone.at("ok").as_bool());
+  EXPECT_EQ(service.num_models(), 0u);
+  EXPECT_FALSE(handle(service, R"({"op":"analyze","model":"cooling"})")
+                   .at("ok")
+                   .as_bool());
+}
+
+TEST(Serve, AnalyzeOverridesAndWarmCache) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+
+  const json::value cold = handle(
+      service, R"({"op":"analyze","model":"m","overrides":{"a":0.01}})");
+  ASSERT_TRUE(cold.at("ok").as_bool());
+  EXPECT_FALSE(cold.at("struct_cache_hit").as_bool());
+
+  const json::value warm = handle(
+      service, R"({"op":"analyze","model":"m","overrides":{"a":0.005}})");
+  ASSERT_TRUE(warm.at("ok").as_bool());
+  EXPECT_TRUE(warm.at("struct_cache_hit").as_bool());
+
+  sd_fault_tree perturbed = example3_sd();
+  perturbed.structure().set_probability(perturbed.structure().find("a"),
+                                        0.005);
+  analysis_options opts;
+  opts.horizon = 24.0;
+  EXPECT_EQ(warm.at("probability").as_number(),
+            analyze(perturbed, opts).failure_probability);
+}
+
+TEST(Serve, AnalyzePerRequestOptions) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+  const json::value r = handle(
+      service,
+      R"({"op":"analyze","model":"m","horizon":96,"cutoff":1e-9,
+          "exact_static":true})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  analysis_options opts;
+  opts.horizon = 96.0;
+  opts.cutoff = 1e-9;
+  opts.exact_static = true;
+  const analysis_result direct = analyze(example3_sd(), opts);
+  EXPECT_EQ(r.at("probability").as_number(), direct.failure_probability);
+  EXPECT_EQ(r.at("exact_static_probability").as_number(),
+            direct.exact_static_probability);
+}
+
+TEST(Serve, SweepRequestMatchesDirectRuns) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+  const json::value r = handle(
+      service,
+      R"({"op":"sweep","model":"m",
+          "params":[{"name":"a","lo":0.001,"hi":0.01,"n":4,"scale":"log"}]})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  const json::array& points = r.at("points").as_array();
+  ASSERT_EQ(points.size(), 4u);
+  // The last grid point is exactly a=0.01; check it against a direct run.
+  sd_fault_tree perturbed = example3_sd();
+  perturbed.structure().set_probability(perturbed.structure().find("a"),
+                                        0.01);
+  analysis_options opts;
+  opts.horizon = 24.0;
+  EXPECT_EQ(points.back().at("probability").as_number(),
+            analyze(perturbed, opts).failure_probability);
+  EXPECT_EQ(static_cast<std::size_t>(r.at("struct_cache_hits").as_number()),
+            4u);
+}
+
+TEST(Serve, IdEchoAndErrorTaxonomy) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+
+  const json::value with_string_id =
+      handle(service, R"({"op":"health","id":"req-1"})");
+  EXPECT_EQ(with_string_id.at("id").as_string(), "req-1");
+  const json::value with_number_id =
+      handle(service, R"({"op":"health","id":7})");
+  EXPECT_EQ(with_number_id.at("id").as_number(), 7.0);
+
+  // Errors carry ok:false + error, echo the id, and count in errors().
+  const std::size_t errors_before = service.errors();
+  const json::value unknown_op =
+      handle(service, R"({"op":"frobnicate","id":3})");
+  EXPECT_FALSE(unknown_op.at("ok").as_bool());
+  EXPECT_EQ(unknown_op.at("id").as_number(), 3.0);
+  EXPECT_NE(unknown_op.at("error").as_string().find("unknown op"),
+            std::string::npos);
+
+  EXPECT_FALSE(handle(service, "{malformed").at("ok").as_bool());
+  EXPECT_FALSE(handle(service, R"("just a string")").at("ok").as_bool());
+  EXPECT_FALSE(handle(service, R"({"op":"analyze"})").at("ok").as_bool());
+  EXPECT_FALSE(
+      handle(service, R"({"op":"analyze","model":"nope"})").at("ok").as_bool());
+  EXPECT_FALSE(
+      handle(service,
+             R"({"op":"analyze","model":"m","overrides":{"zz":0.1}})")
+          .at("ok")
+          .as_bool());
+  EXPECT_FALSE(handle(service, R"({"op":"health","id":[1]})").at("ok").as_bool());
+  EXPECT_EQ(service.errors(), errors_before + 7);
+}
+
+TEST(Serve, HealthStatsAndShutdown) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+  (void)handle(service, R"({"op":"analyze","model":"m"})");
+
+  const json::value health = handle(service, R"({"op":"health"})");
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+  EXPECT_EQ(health.at("models").as_number(), 1.0);
+  EXPECT_GE(health.at("requests").as_number(), 2.0);
+
+  const json::value stats = handle(service, R"({"op":"stats"})");
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("struct_cache").at("entries").as_number(), 1.0);
+  EXPECT_TRUE(stats.at("metrics").is_object());
+  EXPECT_TRUE(stats.at("metrics").contains("struct_cache.hits"));
+
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_TRUE(handle(service, R"({"op":"shutdown"})").at("ok").as_bool());
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(Serve, StdioTransportRoundTrip) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+  std::istringstream in(
+      "{\"op\":\"health\"}\n"
+      "\n"  // blank lines are skipped
+      "{\"op\":\"analyze\",\"model\":\"m\"}\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"health\"}\n");  // after shutdown: not processed
+  std::ostringstream out;
+  serve::serve_stdio(service, in, out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<json::value> responses;
+  while (std::getline(lines, line)) responses.push_back(json::parse(line));
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].at("op").as_string(), "health");
+  EXPECT_EQ(responses[1].at("op").as_string(), "analyze");
+  EXPECT_EQ(responses[2].at("op").as_string(), "shutdown");
+}
+
+TEST(ServeConcurrent, HammerSharedService) {
+  // TSan target: concurrent handle() calls mixing analyses, sweeps,
+  // loads and stats against one service. Every analyze response must be
+  // bit-identical to the single-threaded reference of its point.
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+
+  analysis_options opts;
+  opts.horizon = 24.0;
+  std::vector<double> reference;
+  for (int k = 0; k < 4; ++k) {
+    sd_fault_tree perturbed = example3_sd();
+    perturbed.structure().set_probability(perturbed.structure().find("a"),
+                                          1e-3 * (k + 1));
+    reference.push_back(analyze(perturbed, opts).failure_probability);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 8; ++round) {
+        const int k = (t + round) % 4;
+        char req[160];
+        std::snprintf(req, sizeof req,
+                      "{\"op\":\"analyze\",\"model\":\"m\","
+                      "\"overrides\":{\"a\":%.17g}}",
+                      1e-3 * (k + 1));
+        const json::value r = json::parse(service.handle(req));
+        if (!r.at("ok").as_bool() ||
+            r.at("probability").as_number() !=
+                reference[static_cast<std::size_t>(k)]) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (round == 3) {
+          (void)service.handle("{\"op\":\"stats\"}");
+          (void)service.handle(
+              "{\"op\":\"sweep\",\"model\":\"m\",\"params\":"
+              "[{\"name\":\"c\",\"lo\":0.001,\"hi\":0.01,\"n\":2}]}");
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.errors(), 0u);
+}
+
+TEST(ServeTcp, EndToEndOverLoopback) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+
+  std::atomic<int> port{0};
+  std::ostringstream log;
+  std::thread server(
+      [&] { serve::serve_tcp(service, 0, log, &port); });
+  while (port.load() == 0) std::this_thread::yield();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<unsigned short>(port.load()));
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  const auto request = [&](const std::string& req) {
+    const std::string line = req + "\n";
+    EXPECT_EQ(::send(fd, line.data(), line.size(), 0),
+              static_cast<ssize_t>(line.size()));
+    std::string buf;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n') buf.push_back(c);
+    return json::parse(buf);
+  };
+
+  const json::value health = request(R"({"op":"health","id":"tcp"})");
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("id").as_string(), "tcp");
+  const json::value r = request(R"({"op":"analyze","model":"m"})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  analysis_options opts;
+  opts.horizon = 24.0;
+  EXPECT_EQ(r.at("probability").as_number(),
+            analyze(example3_sd(), opts).failure_probability);
+  EXPECT_TRUE(request(R"({"op":"shutdown"})").at("ok").as_bool());
+  ::close(fd);
+  server.join();
+  EXPECT_NE(log.str().find("listening on 127.0.0.1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdft

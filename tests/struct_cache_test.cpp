@@ -1,0 +1,416 @@
+// Structure-cache tests: the canonical signature keys structure only
+// (parameters excluded), engine hits replay stages 1b-2 bit-identically,
+// envelope dominance decides reuse exactly, and both engine-owned caches
+// stay LRU-bounded. The Concurrent* tests hammer the shared caches from
+// many threads and are the TSan targets of the suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/struct_cache.hpp"
+#include "gen/bwr.hpp"
+#include "test_models.hpp"
+#include "util/lru.hpp"
+
+namespace sdft {
+namespace {
+
+using namespace sdft::testing;
+
+std::vector<cutset> cutset_list(const analysis_result& result) {
+  std::vector<cutset> out;
+  out.reserve(result.cutsets.size());
+  for (const auto& q : result.cutsets) out.push_back(q.events);
+  return out;
+}
+
+sd_fault_tree bwr_tree() {
+  bwr_options opt;
+  opt.dynamic_events = true;
+  opt.repair_rate = 0.1;
+  return make_bwr_model(with_bwr_triggers(opt, 2));
+}
+
+TEST(StructuralSignature, IgnoresParameters) {
+  const sd_fault_tree base = example3_sd();
+  sd_fault_tree reparam = example3_sd();
+  reparam.structure().set_probability(reparam.structure().find("a"), 0.42);
+  // Different CTMC rates are parameters too.
+  const sd_fault_tree rerate = example3_sd(2e-3, 1e-2);
+  const prep_options prep;
+  EXPECT_EQ(structural_signature(base, prep),
+            structural_signature(reparam, prep));
+  EXPECT_EQ(structural_signature(base, prep),
+            structural_signature(rerate, prep));
+}
+
+TEST(StructuralSignature, SensitiveToStructureAndPrep) {
+  const sd_fault_tree base = example3_sd();
+  const prep_options prep;
+
+  // Another gate wiring: swap the top OR for an AND.
+  sd_fault_tree other = example3_sd();
+  {
+    sd_fault_tree rebuilt;
+    const node_index a = rebuilt.add_static_event("a", p_fts);
+    const node_index e = rebuilt.add_static_event("e", p_tank);
+    rebuilt.set_top(rebuilt.add_gate("top", gate_type::and_gate, {a, e}));
+    rebuilt.validate();
+    EXPECT_NE(structural_signature(base, prep),
+              structural_signature(rebuilt, prep));
+  }
+
+  // The prep configuration is part of the key (it decides the prep tree
+  // cached entries carry).
+  prep_options no_prep;
+  no_prep.enabled = false;
+  EXPECT_NE(structural_signature(base, prep),
+            structural_signature(base, no_prep));
+
+  // Static/dynamic partition matters even with identical wiring: example3
+  // vs. a clone whose dynamic event b became a static event.
+  sd_fault_tree partition;
+  {
+    const node_index a = partition.add_static_event("a", p_fts);
+    const node_index b = partition.add_static_event("b", 0.01);
+    const node_index c = partition.add_static_event("c", p_fts);
+    const node_index d = partition.add_dynamic_event(
+        "d", example2_pump2(1e-3, 5e-2));
+    const node_index e = partition.add_static_event("e", p_tank);
+    const node_index pump1 =
+        partition.add_gate("PUMP1", gate_type::or_gate, {a, b});
+    const node_index pump2 =
+        partition.add_gate("PUMP2", gate_type::or_gate, {c, d});
+    const node_index pumps =
+        partition.add_gate("PUMPS", gate_type::and_gate, {pump1, pump2});
+    partition.set_top(
+        partition.add_gate("COOLING", gate_type::or_gate, {e, pumps}));
+    partition.set_trigger(pump1, d);
+    partition.validate();
+  }
+  EXPECT_NE(structural_signature(base, prep),
+            structural_signature(partition, prep));
+}
+
+TEST(StructureCache, RepeatRunHitsAndMatches) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  const sd_fault_tree tree = example3_sd();
+  analysis_engine engine(opts);
+
+  const analysis_result first = engine.run(tree);
+  EXPECT_EQ(first.stats.struct_cache_hits, 0u);
+  EXPECT_EQ(first.stats.struct_cache_misses, 1u);
+  EXPECT_EQ(engine.structures().size(), 1u);
+
+  const analysis_result second = engine.run(tree);
+  EXPECT_EQ(second.stats.struct_cache_hits, 1u);
+  EXPECT_EQ(second.stats.struct_cache_misses, 0u);
+  EXPECT_EQ(second.failure_probability, first.failure_probability);
+  EXPECT_EQ(cutset_list(second), cutset_list(first));
+}
+
+TEST(StructureCache, ReparameterizedHitBitIdenticalToFreshEngine) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.cutoff = 0.0;  // complete list: reusable for any parameter point
+  const sd_fault_tree base = bwr_tree();
+  analysis_engine warm(opts);
+  (void)warm.run(base);
+
+  // Perturb several static probabilities (both up and down — with a
+  // complete list the envelope never blocks reuse).
+  sd_fault_tree perturbed = base;
+  fault_tree& ft = perturbed.structure();
+  ft.set_probability(ft.find("DG1_FTS"), 0.05);
+  ft.set_probability(ft.find("CST"), 1e-7);
+
+  const analysis_result hit = warm.run(perturbed);
+  EXPECT_EQ(hit.stats.struct_cache_hits, 1u);
+
+  analysis_engine cold(opts);
+  const analysis_result fresh = cold.run(perturbed);
+  EXPECT_EQ(hit.failure_probability, fresh.failure_probability);
+  EXPECT_EQ(cutset_list(hit), cutset_list(fresh));
+  EXPECT_EQ(hit.num_cutsets, fresh.num_cutsets);
+}
+
+TEST(StructureCache, CutoffRefilterBitIdenticalToFreshEngine) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.cutoff = 1e-12;
+  const sd_fault_tree base = bwr_tree();
+  analysis_engine warm(opts);
+  const analysis_result first = warm.run(base);
+  ASSERT_GT(first.num_cutsets, 0u);
+
+  // Lowered probabilities stay inside the envelope: the hit re-filters
+  // the cached list and must reproduce a fresh run's list bit for bit
+  // (some cutsets drop below the cutoff at the new point).
+  sd_fault_tree lowered = base;
+  fault_tree& ft = lowered.structure();
+  ft.set_probability(ft.find("DG1_FTS"), 8e-4);
+  ft.set_probability(ft.find("DG2_FTS"), 8e-4);
+
+  const analysis_result hit = warm.run(lowered);
+  EXPECT_EQ(hit.stats.struct_cache_hits, 1u);
+
+  analysis_engine cold(opts);
+  const analysis_result fresh = cold.run(lowered);
+  EXPECT_EQ(hit.failure_probability, fresh.failure_probability);
+  EXPECT_EQ(cutset_list(hit), cutset_list(fresh));
+}
+
+TEST(StructureCache, EscapedEnvelopeRegenerates) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.cutoff = 1e-12;
+  const sd_fault_tree base = bwr_tree();
+  analysis_engine engine(opts);
+  (void)engine.run(base);
+
+  // A raised probability escapes the stored envelope: cached list may
+  // miss cutsets that are now relevant, so the engine must regenerate —
+  // and still produce the fresh-engine result.
+  sd_fault_tree raised = base;
+  fault_tree& ft = raised.structure();
+  ft.set_probability(ft.find("DG1_FTS"), 0.5);
+
+  const analysis_result miss = engine.run(raised);
+  EXPECT_EQ(miss.stats.struct_cache_hits, 0u);
+  EXPECT_EQ(miss.stats.struct_cache_misses, 1u);
+
+  analysis_engine cold(opts);
+  const analysis_result fresh = cold.run(raised);
+  EXPECT_EQ(miss.failure_probability, fresh.failure_probability);
+  EXPECT_EQ(cutset_list(miss), cutset_list(fresh));
+
+  // The entry was re-anchored at the raised point, so repeating it hits.
+  const analysis_result again = engine.run(raised);
+  EXPECT_EQ(again.stats.struct_cache_hits, 1u);
+  EXPECT_EQ(again.failure_probability, fresh.failure_probability);
+}
+
+TEST(StructureCache, TighterCutoffRegenerates) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.cutoff = 1e-10;
+  const sd_fault_tree tree = bwr_tree();
+  analysis_engine engine(opts);
+  (void)engine.run(tree);
+
+  // cutoff' < gen_cutoff: the cached list may lack cutsets the tighter
+  // run keeps, so reuse is forbidden.
+  analysis_options tighter = opts;
+  tighter.cutoff = 1e-14;
+  const analysis_result miss = engine.run(tree, tighter);
+  EXPECT_EQ(miss.stats.struct_cache_hits, 0u);
+
+  analysis_engine cold(tighter);
+  const analysis_result fresh = cold.run(tree);
+  EXPECT_EQ(miss.failure_probability, fresh.failure_probability);
+  EXPECT_EQ(cutset_list(miss), cutset_list(fresh));
+
+  // The looser original cutoff now reuses the tighter entry (gen_cutoff
+  // 1e-14 <= 1e-10) and re-filters to the original list.
+  const analysis_result loose = engine.run(tree, opts);
+  EXPECT_EQ(loose.stats.struct_cache_hits, 1u);
+  analysis_engine cold_loose(opts);
+  EXPECT_EQ(loose.failure_probability,
+            cold_loose.run(tree).failure_probability);
+}
+
+TEST(StructureCache, PrimeMakesFirstRunHit) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  const sd_fault_tree tree = example3_sd();
+  analysis_engine engine(opts);
+  engine.prime(tree);
+  EXPECT_EQ(engine.structures().size(), 1u);
+
+  const analysis_result r = engine.run(tree);
+  EXPECT_EQ(r.stats.struct_cache_hits, 1u);
+  EXPECT_EQ(r.failure_probability, analyze(tree, opts).failure_probability);
+}
+
+TEST(StructureCache, ExactStaticOnHitMatchesFreshEngine) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.exact_static = true;
+  const sd_fault_tree base = example3_sd();
+  analysis_engine warm(opts);
+  const analysis_result first = warm.run(base);
+  ASSERT_GT(first.exact_static_probability, 0.0);
+
+  sd_fault_tree perturbed = base;
+  perturbed.structure().set_probability(perturbed.structure().find("a"),
+                                        1e-4);
+  const analysis_result hit = warm.run(perturbed);
+  EXPECT_EQ(hit.stats.struct_cache_hits, 1u);
+
+  analysis_engine cold(opts);
+  const analysis_result fresh = cold.run(perturbed);
+  EXPECT_EQ(hit.exact_static_probability, fresh.exact_static_probability);
+  EXPECT_EQ(hit.failure_probability, fresh.failure_probability);
+}
+
+TEST(StructureCache, DisabledOptionBypassesCache) {
+  analysis_options opts;
+  opts.use_structure_cache = false;
+  const sd_fault_tree tree = example3_sd();
+  analysis_engine engine(opts);
+  (void)engine.run(tree);
+  (void)engine.run(tree);
+  EXPECT_EQ(engine.structures().size(), 0u);
+  EXPECT_EQ(engine.structures().hits(), 0u);
+  EXPECT_EQ(engine.structures().misses(), 0u);
+}
+
+TEST(StructureCache, LruEvictionBound) {
+  analysis_options opts;
+  opts.structure_cache_entries = 1;
+  analysis_engine engine(opts);
+  const sd_fault_tree first = example3_sd();
+  const sd_fault_tree second = bwr_tree();
+
+  (void)engine.run(first);
+  (void)engine.run(second);  // evicts `first`
+  EXPECT_EQ(engine.structures().size(), 1u);
+  EXPECT_EQ(engine.structures().evictions(), 1u);
+
+  const analysis_result refill = engine.run(first);  // miss again
+  EXPECT_EQ(refill.stats.struct_cache_hits, 0u);
+  EXPECT_EQ(engine.structures().evictions(), 2u);
+  EXPECT_EQ(refill.failure_probability,
+            analyze(first, engine.options()).failure_probability);
+}
+
+TEST(LruMap, InsertFindEvict) {
+  lru_map<std::string, int> map(2);
+  EXPECT_TRUE(map.insert("a", 1));
+  EXPECT_TRUE(map.insert("b", 2));
+  ASSERT_NE(map.find("a"), nullptr);  // refreshes a's recency
+  EXPECT_EQ(*map.find("a"), 1);
+  EXPECT_TRUE(map.insert("c", 3));  // evicts b (least recent)
+  EXPECT_EQ(map.find("b"), nullptr);
+  EXPECT_NE(map.find("a"), nullptr);
+  EXPECT_NE(map.find("c"), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.evictions(), 1u);
+  // Duplicate insert keeps the first value (first writer wins).
+  EXPECT_FALSE(map.insert("a", 99));
+  EXPECT_EQ(*map.find("a"), 1);
+  // assign() overwrites.
+  map.assign("a", 7);
+  EXPECT_EQ(*map.find("a"), 7);
+  // Shrinking the capacity evicts immediately.
+  map.set_capacity(1);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.evictions(), 2u);
+}
+
+TEST(QuantCache, LruBoundHolds) {
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.quant_cache_entries = 2;
+  const sd_fault_tree tree = bwr_tree();
+  analysis_engine engine(opts);
+  const analysis_result r = engine.run(tree);
+  EXPECT_LE(engine.cache().size(), 2u);
+  if (r.stats.cache_misses > 2) {
+    EXPECT_GT(engine.cache().evictions(), 0u);
+    EXPECT_EQ(r.stats.cache_evictions, engine.cache().evictions());
+  }
+  // Eviction can only cost re-solves, never change results.
+  analysis_options unbounded = opts;
+  unbounded.quant_cache_entries = quantification_cache::default_capacity;
+  EXPECT_EQ(r.failure_probability,
+            analyze(tree, unbounded).failure_probability);
+}
+
+TEST(StructureCacheConcurrent, ParallelRunsShareOneEngine) {
+  // TSan target: many threads run perturbed analyses against one engine;
+  // all share one cached structure, and every result must equal the
+  // fresh-engine reference for its parameter point.
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.cutoff = 0.0;
+  opts.inline_execution = true;  // each thread runs its pipeline inline
+  const sd_fault_tree base = example3_sd();
+  analysis_engine engine(opts);
+  engine.prime(base);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 10;
+  std::vector<double> results(kThreads * kRounds, -1.0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        sd_fault_tree perturbed = base;
+        fault_tree& ft = perturbed.structure();
+        ft.set_probability(ft.find("a"), 1e-3 * (1 + (t + round) % 5));
+        results[static_cast<std::size_t>(t * kRounds + round)] =
+            engine.run(perturbed).failure_probability;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  analysis_options serial = opts;
+  serial.inline_execution = false;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int round = 0; round < kRounds; ++round) {
+      sd_fault_tree perturbed = base;
+      fault_tree& ft = perturbed.structure();
+      ft.set_probability(ft.find("a"), 1e-3 * (1 + (t + round) % 5));
+      EXPECT_EQ(results[static_cast<std::size_t>(t * kRounds + round)],
+                analyze(perturbed, serial).failure_probability)
+          << "thread " << t << " round " << round;
+    }
+  }
+}
+
+TEST(StructureCacheConcurrent, MixedStructuresUnderTinyCapacity) {
+  // Eviction racing against concurrent hits: two distinct structures
+  // thrash a capacity-1 cache from many threads. Entries are shared_ptr,
+  // so a run keeps quantifying against an entry evicted mid-flight.
+  analysis_options opts;
+  opts.horizon = 12.0;
+  opts.structure_cache_entries = 1;
+  opts.inline_execution = true;
+  const sd_fault_tree first = example3_sd();
+  const sd_fault_tree second = bwr_tree();
+  analysis_engine engine(opts);
+
+  const double ref_first = analyze(first, opts).failure_probability;
+  const double ref_second = analyze(second, opts).failure_probability;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        const bool use_first = (t + round) % 2 == 0;
+        const double p =
+            engine.run(use_first ? first : second).failure_probability;
+        if (p != (use_first ? ref_first : ref_second)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(engine.structures().size(), 1u);
+  EXPECT_GT(engine.structures().evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace sdft

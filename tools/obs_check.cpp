@@ -3,14 +3,18 @@
 // drift before a trace stops loading in Chrome/Perfetto or a bench loses a
 // metric key.
 //
-//   obs_check trace <trace.json>      validate a --trace-json file
-//   obs_check metrics <metrics.json>  validate a --metrics-json file
+//   obs_check trace <trace.json>          validate a --trace-json file
+//   obs_check metrics <metrics.json>      validate a --metrics-json file
+//   obs_check bench-serve <BENCH.json>    validate a bench_serve artifact
 //
 // Trace checks: well-formed JSON, a traceEvents array whose "X" events have
 // non-negative ts/dur, unique span ids, parent ids that resolve (or 0), and
 // one span for each of the five engine stages parented to engine.run.
 // Metrics checks: a flat JSON object carrying every canonical engine_stats
 // key (DESIGN.md §11) with numeric values.
+// Bench-serve checks: the ISSUE acceptance thresholds — the batched sweep
+// bit-identical to its one-shots and at least 5x faster, with every point a
+// structure-cache hit.
 //
 // Exit code 0 when valid; 1 with a message on stderr otherwise.
 
@@ -108,7 +112,10 @@ int check_metrics(const std::string& path) {
       "quant.packed_key_chains",  "quant.vector_key_chains",
       "transient.steps_saved",    "quant.cache_hit",
       "quant.cache_miss",         "quant.cache_entries",
-      "quant.cache_hit_rate",     "pool.threads",
+      "quant.cache_hit_rate",     "quant.cache_evictions",
+      "struct_cache.hits",        "struct_cache.misses",
+      "struct_cache.evictions",   "struct_cache.entries",
+      "pool.threads",
       "mocus.threads",            "mocus.tasks",
       "mocus.steals",             "mocus.occupancy",
       "quant.tasks",              "quant.steals",
@@ -125,17 +132,37 @@ int check_metrics(const std::string& path) {
   return 0;
 }
 
+int check_bench_serve(const std::string& path) {
+  const value doc = sdft::json::parse(slurp(path));
+  const value& sweep = doc.at("sweep");
+  check(sweep.at("bit_identical").as_bool(),
+        "sweep results are not bit-identical to one-shots");
+  const double points = sweep.at("points").as_number();
+  check(points >= 32.0, "sweep has fewer than 32 points");
+  check(sweep.at("struct_cache_hits").as_number() == points,
+        "not every sweep point was a structure-cache hit");
+  const double speedup = sweep.at("speedup").as_number();
+  check(speedup >= 5.0, "sweep speedup " + std::to_string(speedup) +
+                            "x is below the 5x acceptance threshold");
+  doc.at("serve").at("cold_seconds").as_number();
+  doc.at("serve").at("warm_mean_seconds").as_number();
+  std::printf("bench-serve ok: %.0f points, %.1fx speedup, bit-identical\n",
+              points, speedup);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3) {
-    std::fprintf(stderr, "usage: obs_check <trace|metrics> <file>\n");
+    std::fprintf(stderr, "usage: obs_check <trace|metrics|bench-serve> <file>\n");
     return 2;
   }
   try {
     const std::string mode = argv[1];
     if (mode == "trace") return check_trace(argv[2]);
     if (mode == "metrics") return check_metrics(argv[2]);
+    if (mode == "bench-serve") return check_bench_serve(argv[2]);
     std::fprintf(stderr, "obs_check: unknown mode '%s'\n", mode.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -7,6 +7,12 @@
 //   sdft importance <file> [options]   Fussell-Vesely ranking
 //   sdft classify <file>               trigger-gate classification (§V-A)
 //   sdft convert <file>                echo the normalised model text
+//   sdft sweep <file> [options]        batched parameter sweep over one
+//                                      cached structure (--sweep-param /
+//                                      --sweep-spec)
+//   sdft serve [<file>] [options]      resident NDJSON analysis service
+//                                      (--stdio default, or --port N;
+//                                      preload models with --model)
 //
 // Options: --horizon H (hours, default 24), --cutoff C (default 0),
 //          --threads N, --mode exact|under|over, --top K (rows to print),
@@ -19,6 +25,11 @@
 //          --no-prep-{fold,coalesce,merge,factor,absorb,modules},
 //          --stats (engine instrumentation: stage times, backend
 //          counters, quantification-cache hits/misses, pool occupancy),
+//          --no-struct-cache (regenerate cutsets per analysis),
+//          --struct-cache-entries N / --quant-cache-entries N (LRU bounds),
+//          --sweep-param NAME=lo:hi:N[:log|:linear] (repeatable; the grid
+//          is the cartesian product), --sweep-spec FILE (JSON spec),
+//          --port N / --stdio / --model name=path (serve transports),
 //          --trace-json FILE (Chrome trace_event spans of the run),
 //          --metrics-json FILE (obs metric registry dump; see DESIGN.md §11).
 //
@@ -37,8 +48,13 @@
 #include <utility>
 #include <vector>
 
+#include <iostream>
+
 #include "bdd/ft_bdd.hpp"
 #include "engine/engine.hpp"
+#include "engine/sweep.hpp"
+#include "serve/service.hpp"
+#include "serve/transport.hpp"
 #include "core/risk_measures.hpp"
 #include "ft/modules.hpp"
 #include "mcs/importance.hpp"
@@ -80,12 +96,26 @@ struct cli_options {
   std::uint64_t seed = 1;
   std::string trace_json;    ///< Chrome trace_event output path (empty: off)
   std::string metrics_json;  ///< metric registry dump path (empty: off)
+
+  // Structure cache (stages 1b-2 reuse) and cache bounds.
+  bool struct_cache = true;
+  std::size_t struct_cache_entries = structure_cache::default_capacity;
+  std::size_t quant_cache_entries = quantification_cache::default_capacity;
+
+  // sweep command inputs.
+  std::vector<std::string> sweep_params;  ///< NAME=lo:hi:N[:scale] axes
+  std::string sweep_spec;                 ///< JSON spec file
+
+  // serve command transports.
+  int port = -1;          ///< TCP port (-1: not requested; 0: ephemeral)
+  bool use_stdio = false;
+  std::vector<std::pair<std::string, std::string>> models;  ///< name=path
 };
 
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: sdft <static|simulate|export|import|mcs|analyze|exact|importance|classify|convert> "
+      "usage: sdft <static|simulate|export|import|mcs|analyze|exact|importance|classify|convert|sweep|serve> "
       "<file>\n"
       "            [--horizon H] [--cutoff C] [--threads N]\n"
       "            [--mode exact|under|over] [--top K] [--details]\n"
@@ -94,16 +124,32 @@ struct cli_options {
       "            [--no-lumping] [--no-early-termination]\n"
       "            [--no-prep] "
       "[--no-prep-{fold,coalesce,merge,factor,absorb,modules}]\n"
+      "            [--no-struct-cache] [--struct-cache-entries N]\n"
+      "            [--quant-cache-entries N]\n"
+      "            [--sweep-param NAME=lo:hi:N[:log|:linear]] "
+      "[--sweep-spec FILE]\n"
+      "            [--port N | --stdio] [--model name=path]\n"
       "            [--trace-json FILE] [--metrics-json FILE]\n");
   std::exit(2);
 }
 
+/// Usage errors with a specific complaint: message, then the usage block
+/// (exit 2, distinct from model/numeric errors' exit 1).
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr, "sdft: %s\n", what.c_str());
+  usage();
+}
+
 cli_options parse_args(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   cli_options opt;
   opt.command = argv[1];
-  opt.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int start = 2;
+  // The model file is optional for serve (models can arrive via --model
+  // or the protocol's load op); every other command requires it.
+  if (start < argc && argv[start][0] != '-') opt.file = argv[start++];
+  if (opt.file.empty() && opt.command != "serve") usage();
+  for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage();
@@ -164,6 +210,30 @@ cli_options parse_args(int argc, char** argv) {
       opt.trace_json = next();
     } else if (arg == "--metrics-json") {
       opt.metrics_json = next();
+    } else if (arg == "--no-struct-cache") {
+      opt.struct_cache = false;
+    } else if (arg == "--struct-cache-entries") {
+      opt.struct_cache_entries = std::stoul(next());
+    } else if (arg == "--quant-cache-entries") {
+      opt.quant_cache_entries = std::stoul(next());
+    } else if (arg == "--sweep-param") {
+      opt.sweep_params.push_back(next());
+    } else if (arg == "--sweep-spec") {
+      opt.sweep_spec = next();
+    } else if (arg == "--port") {
+      opt.port = std::stoi(next());
+      if (opt.port < 0 || opt.port > 65535) {
+        usage_error("--port must be in [0, 65535] (0 picks a free port)");
+      }
+    } else if (arg == "--stdio") {
+      opt.use_stdio = true;
+    } else if (arg == "--model") {
+      const std::string m = next();
+      const std::size_t eq = m.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == m.size()) {
+        usage_error("--model needs name=path");
+      }
+      opt.models.emplace_back(m.substr(0, eq), m.substr(eq + 1));
     } else if (arg == "--mode") {
       const std::string mode = next();
       if (mode == "exact") {
@@ -178,6 +248,32 @@ cli_options parse_args(int argc, char** argv) {
     } else {
       usage();
     }
+  }
+
+  // Cross-flag conflicts (usage errors, exit 2): sweep and serve flags
+  // only compose with their own commands; transports are exclusive.
+  const bool sweep_flags =
+      !opt.sweep_params.empty() || !opt.sweep_spec.empty();
+  if (sweep_flags && opt.command != "sweep") {
+    usage_error("--sweep-param/--sweep-spec apply to the 'sweep' command");
+  }
+  if (opt.command == "sweep") {
+    if (!opt.sweep_params.empty() && !opt.sweep_spec.empty()) {
+      usage_error(
+          "give either --sweep-param axes or one --sweep-spec file, "
+          "not both");
+    }
+    if (!sweep_flags) {
+      usage_error("sweep needs --sweep-param axes or a --sweep-spec file");
+    }
+  }
+  const bool serve_flags =
+      opt.port >= 0 || opt.use_stdio || !opt.models.empty();
+  if (serve_flags && opt.command != "serve") {
+    usage_error("--port/--stdio/--model apply to the 'serve' command");
+  }
+  if (opt.port >= 0 && opt.use_stdio) {
+    usage_error("--port and --stdio are mutually exclusive");
   }
   return opt;
 }
@@ -339,8 +435,9 @@ void print_engine_stats(const engine_stats& s) {
   std::printf("%s", table.str().c_str());
 }
 
-int cmd_analyze(const cli_options& opt) {
-  const sd_fault_tree tree = load(opt.file);
+/// The engine options every pipeline command (analyze, sweep, serve)
+/// derives from the shared CLI flags.
+analysis_options make_analysis_options(const cli_options& opt) {
   analysis_options aopts;
   aopts.horizon = opt.horizon;
   aopts.cutoff = opt.cutoff;
@@ -353,7 +450,15 @@ int cmd_analyze(const cli_options& opt) {
   aopts.lump_symmetry = opt.lumping;
   aopts.transient_early_termination = opt.early_termination;
   aopts.prep = opt.prep;
-  analysis_engine engine(aopts);
+  aopts.use_structure_cache = opt.struct_cache;
+  aopts.structure_cache_entries = opt.struct_cache_entries;
+  aopts.quant_cache_entries = opt.quant_cache_entries;
+  return aopts;
+}
+
+int cmd_analyze(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+  analysis_engine engine(make_analysis_options(opt));
   const analysis_result result = engine.run(tree);
   std::printf("failure probability (p_rea): %s  [horizon %gh]\n",
               sci(result.failure_probability).c_str(), opt.horizon);
@@ -503,6 +608,72 @@ int cmd_import(const cli_options& opt) {
   return 0;
 }
 
+int cmd_sweep(const cli_options& opt) {
+  const sd_fault_tree tree = load(opt.file);
+
+  // Parse (pure syntax -> usage errors, exit 2), then resolve against the
+  // model (unknown/non-static events -> model errors, exit 1).
+  sweep_description description;
+  try {
+    if (!opt.sweep_spec.empty()) {
+      std::ifstream in(opt.sweep_spec);
+      if (!in) {
+        usage_error("cannot open sweep spec '" + opt.sweep_spec + "'");
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      description = parse_sweep_json(text.str());
+    } else {
+      description = parse_sweep_ranges(opt.sweep_params);
+    }
+  } catch (const model_error&) {
+    throw;
+  } catch (const error& e) {
+    usage_error(e.what());
+  }
+  const sweep_spec spec = resolve_sweep(description, tree);
+
+  analysis_engine engine(make_analysis_options(opt));
+  const sweep_result result = run_sweep(engine, tree, spec);
+
+  text_table table({"p (p_rea)", "point"});
+  for (std::size_t i = 0; i < result.points.size() && i < opt.top; ++i) {
+    table.add_row({sci(result.points[i].failure_probability),
+                   spec.points[i].label});
+  }
+  std::printf("%s", table.str().c_str());
+  if (result.points.size() > opt.top) {
+    std::printf("... %zu more points (--top to widen)\n",
+                result.points.size() - opt.top);
+  }
+  std::printf(
+      "sweep: %zu points on %zu threads in %.2fs "
+      "(prime %.2fs, %zu structure-cache hits)\n",
+      result.points.size(), result.threads, result.total_seconds,
+      result.prime_seconds, result.struct_cache_hits);
+  if (opt.stats) print_engine_stats(result.aggregate);
+  return 0;
+}
+
+int cmd_serve(const cli_options& opt) {
+  serve::analysis_service service(make_analysis_options(opt));
+  if (!opt.file.empty()) service.load_file("default", opt.file);
+  for (const auto& [name, path] : opt.models) {
+    service.load_file(name, path);
+  }
+  if (opt.port >= 0) {
+    serve::serve_tcp(service, static_cast<unsigned short>(opt.port),
+                     std::cerr);
+  } else {
+    // Default transport: newline-delimited JSON over stdin/stdout.
+    serve::serve_stdio(service, std::cin, std::cout);
+  }
+  std::fprintf(stderr,
+               "sdft serve: %zu requests handled (%zu errors), %zu models\n",
+               service.requests(), service.errors(), service.num_models());
+  return 0;
+}
+
 int dispatch(const cli_options& opt) {
   if (opt.command == "static") return cmd_static(opt);
   if (opt.command == "mcs") return cmd_mcs(opt);
@@ -515,6 +686,8 @@ int dispatch(const cli_options& opt) {
   if (opt.command == "export") return cmd_export(opt);
   if (opt.command == "import") return cmd_import(opt);
   if (opt.command == "uncertainty") return cmd_uncertainty(opt);
+  if (opt.command == "sweep") return cmd_sweep(opt);
+  if (opt.command == "serve") return cmd_serve(opt);
   usage();
 }
 
