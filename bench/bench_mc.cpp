@@ -1,0 +1,230 @@
+// bench_mc — rare-event benchmark of the Monte-Carlo backend.
+//
+//   bench_mc [--budget N] [--out FILE]
+//
+// Two rare-event cases, each comparing estimator families at an equal
+// trajectory budget through the engine's `--backend mc` path:
+//
+//   - industrial_forcing: a downsized synthetic industrial study with its
+//     probability ranges scaled down until the top probability sits below
+//     1e-9. Crude MC sees no failures at the budget (empty CI); failure
+//     forcing must return a CI bracketing the exact-static BDD answer.
+//   - redundant_group_splitting: four redundant repairable pumps (AND of
+//     exponential failure/repair chains), top probability ~6e-9 at a 100h
+//     horizon, exact via the product CTMC. Crude is empty; importance
+//     splitting over the structure importance function must bracket.
+//
+// Also records relative-error-vs-time curves (budget/16, budget/4,
+// budget). Writes BENCH_mc.json for CI archival; `obs_check bench-mc`
+// asserts the acceptance thresholds (crude empty, both CIs bracketing,
+// >= 10x relative-error improvement over crude at equal budget).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "engine/engine.hpp"
+#include "gen/industrial.hpp"
+#include "product/product_ctmc.hpp"
+#include "sim/mc.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+using namespace sdft;
+
+const char* arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// The static industrial variant: the downsized study of the determinism
+/// tests with every probability range scaled down 30x, which pushes the
+/// top probability below 1e-9 (crude MC territory at no realistic budget).
+sd_fault_tree industrial_rare_variant() {
+  industrial_options gopt;
+  gopt.seed = 17;
+  gopt.num_frontline_systems = 6;
+  gopt.num_support_systems = 2;
+  gopt.num_initiating_events = 4;
+  gopt.sequences_per_ie = 3;
+  gopt.components_per_train = 3;
+  gopt.fts_min = 1e-7;
+  gopt.fts_max = 1e-4;
+  gopt.fio_rate_min = 1.25e-7 / 30;
+  gopt.fio_rate_max = 1.25e-4 / 30;
+  return sd_fault_tree(generate_industrial(gopt).ft);
+}
+
+/// Four redundant repairable pumps: failure 0.002/h, repair 1/h. All four
+/// down simultaneously within the horizon is a genuinely dynamic rare
+/// event — each pump is almost always repaired long before the next one
+/// fails, which is exactly the regime importance splitting is for (and
+/// where forcing does nothing: there are no static events to bias).
+sd_fault_tree redundant_group() {
+  sd_fault_tree tree;
+  std::vector<node_index> pumps;
+  for (int i = 0; i < 4; ++i) {
+    pumps.push_back(tree.add_dynamic_event("pump" + std::to_string(i),
+                                           make_repairable(0.002, 1.0)));
+  }
+  tree.set_top(tree.add_gate("top", gate_type::and_gate, pumps));
+  tree.validate();
+  return tree;
+}
+
+struct campaign {
+  sim::mc_result mc;
+  double seconds = 0;
+};
+
+/// One engine run with the mc backend (the `sdft analyze --backend mc`
+/// code path, including derived splitting levels when levels == 0).
+campaign run_case(const sd_fault_tree& tree, double horizon,
+                  sim::mc_method method, std::size_t trajectories,
+                  std::size_t levels) {
+  analysis_options opts;
+  opts.horizon = horizon;
+  opts.backend = cutset_backend::mc;
+  opts.mc.method = method;
+  opts.mc.trajectories = trajectories;
+  opts.mc.seed = 1;
+  opts.mc.levels = levels;
+  const analysis_result r = analyze(tree, opts);
+  return campaign{r.mc, r.stats.mc_seconds};
+}
+
+/// What crude MC could claim at this budget: its own relative error when
+/// it saw failures, else the rule-of-three bound (95% upper limit 3/N on
+/// an all-survivor campaign) relative to the exact answer — the honest
+/// finite stand-in for "empty CI" in the improvement ratio.
+double crude_effective_rel(const sim::mc_result& crude, std::size_t budget,
+                           double exact) {
+  if (!crude.empty()) return crude.relative_error;
+  return (3.0 / static_cast<double>(budget)) / exact;
+}
+
+struct case_spec {
+  std::string name;
+  sd_fault_tree tree;
+  double horizon;
+  double exact;
+  sim::mc_method rare_method;
+  std::size_t levels;  // 0: derive (forcing ignores it)
+};
+
+void write_campaign(json::writer& w, const char* key, const campaign& c) {
+  w.key(key).begin_object();
+  w.key("method").string(sim::to_string(c.mc.method));
+  w.key("estimate").number(c.mc.estimate);
+  w.key("ci_low").number(c.mc.ci_low);
+  w.key("ci_high").number(c.mc.ci_high);
+  w.key("relative_error").number(c.mc.relative_error);
+  w.key("failures").integer(c.mc.failures);
+  w.key("empty").boolean(c.mc.empty());
+  w.key("seconds").number(c.seconds);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t budget = 200'000;
+  if (const char* v = arg_value(argc, argv, "--budget")) {
+    budget = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  const char* out_path = "BENCH_mc.json";
+  if (const char* v = arg_value(argc, argv, "--out")) out_path = v;
+
+  std::vector<case_spec> cases;
+  {
+    case_spec c{"industrial_forcing", industrial_rare_variant(), 24.0, 0.0,
+                sim::mc_method::forcing, 0};
+    analysis_options opts;
+    opts.horizon = c.horizon;
+    opts.exact_static = true;
+    opts.cutoff = 1e-30;
+    c.exact = analyze(c.tree, opts).exact_static_probability;
+    cases.push_back(std::move(c));
+  }
+  {
+    case_spec c{"redundant_group_splitting", redundant_group(), 100.0, 0.0,
+                sim::mc_method::splitting, 4};
+    c.exact = exact_failure_probability(c.tree, c.horizon);
+    cases.push_back(std::move(c));
+  }
+
+  json::writer w;
+  w.begin_object();
+  w.key("budget").integer(budget);
+  w.key("cases").begin_array();
+  bool all_ok = true;
+  std::vector<std::string> curve_json;
+  for (const case_spec& c : cases) {
+    const campaign crude =
+        run_case(c.tree, c.horizon, sim::mc_method::crude, budget, 0);
+    const campaign rare =
+        run_case(c.tree, c.horizon, c.rare_method, budget, c.levels);
+    const double crude_rel = crude_effective_rel(crude.mc, budget, c.exact);
+    const double improvement =
+        rare.mc.relative_error > 0.0 ? crude_rel / rare.mc.relative_error
+                                     : 0.0;
+    const bool brackets = rare.mc.consistent_with(c.exact);
+    all_ok = all_ok && brackets && crude.mc.empty() && improvement >= 10.0;
+
+    std::printf("%s: exact %.4g, budget %zu\n", c.name.c_str(), c.exact,
+                budget);
+    std::printf("  crude:    %zu failures%s\n", crude.mc.failures,
+                crude.mc.empty() ? " (empty CI)" : "");
+    std::printf("  %-9s %.4g ci [%.4g, %.4g] rel %.3f  %s, %.0fx vs crude\n",
+                (to_string(c.rare_method) + ":").c_str(), rare.mc.estimate,
+                rare.mc.ci_low, rare.mc.ci_high, rare.mc.relative_error,
+                brackets ? "brackets" : "MISSES", improvement);
+
+    w.begin_object();
+    w.key("name").string(c.name);
+    w.key("exact").number(c.exact);
+    w.key("budget").integer(budget);
+    write_campaign(w, "crude", crude);
+    write_campaign(w, "rare", rare);
+    w.key("crude_effective_relative_error").number(crude_rel);
+    w.key("improvement").number(improvement);
+    w.end_object();
+
+    // Relative-error-vs-time curve at a quarter of the budget per step.
+    for (std::size_t n : {budget / 16, budget / 4, budget}) {
+      if (n == 0) continue;
+      const campaign point =
+          run_case(c.tree, c.horizon, c.rare_method, n, c.levels);
+      json::writer cw;
+      cw.begin_object();
+      cw.key("case").string(c.name);
+      cw.key("method").string(sim::to_string(c.rare_method));
+      cw.key("trajectories").integer(n);
+      cw.key("seconds").number(point.seconds);
+      cw.key("relative_error").number(point.mc.relative_error);
+      cw.key("estimate").number(point.mc.estimate);
+      cw.end_object();
+      curve_json.push_back(cw.str());
+    }
+  }
+  w.end_array();
+  w.key("curve").begin_array();
+  for (const std::string& entry : curve_json) w.raw(entry);
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_mc: cannot write '%s'\n", out_path);
+    return 1;
+  }
+  out << w.str() << '\n';
+  std::printf("wrote %s\n", out_path);
+  return all_ok ? 0 : 1;
+}

@@ -30,8 +30,23 @@ const char* to_string(cutset_backend backend) {
       return "mocus";
     case cutset_backend::bdd:
       return "bdd";
+    case cutset_backend::mc:
+      return "mc";
   }
   return "?";
+}
+
+bool parse_cutset_backend(std::string_view text, cutset_backend& out) {
+  if (text == "mocus") {
+    out = cutset_backend::mocus;
+  } else if (text == "bdd") {
+    out = cutset_backend::bdd;
+  } else if (text == "mc") {
+    out = cutset_backend::mc;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 cutset_generation mocus_source::generate(const fault_tree& ft, double cutoff,
@@ -110,6 +125,10 @@ std::unique_ptr<cutset_source> make_cutset_source(cutset_backend backend,
       return std::make_unique<mocus_source>();
     case cutset_backend::bdd:
       return std::make_unique<bdd_source>(ordering);
+    case cutset_backend::mc:
+      // The mc backend is a quantifier, not a cutset generator; the
+      // engine branches off before stage 2 (engine.cpp run_mc()).
+      throw model_error("mc backend does not generate cutsets");
   }
   throw model_error("unknown cutset backend");
 }

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "bdd/ordering.hpp"
@@ -23,7 +24,19 @@ enum class cutset_backend {
   /// gate fan-out blowup, used as an independent oracle and for dense
   /// trees where MOCUS partials explode ("BDDs Strike Back").
   bdd,
+
+  /// Monte-Carlo estimation (src/sim): no cutsets at all — the engine
+  /// skips stages 1b–4 and estimates the top-event probability directly
+  /// by batched trajectory simulation with forcing/splitting variance
+  /// reduction (analysis_options::mc selects the estimator). The one
+  /// backend that handles models outside the paper's tractability
+  /// conditions (general repair, non-product cutsets), at the price of a
+  /// confidence interval instead of a point value.
+  mc,
 };
+
+/// Parses "mocus" / "bdd" / "mc"; returns false on anything else.
+bool parse_cutset_backend(std::string_view text, cutset_backend& out);
 
 const char* to_string(cutset_backend backend);
 

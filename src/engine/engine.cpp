@@ -259,8 +259,118 @@ analysis_result analysis_engine::run(const sd_fault_tree& tree) {
   return run(tree, options_);
 }
 
+analysis_result analysis_engine::run_mc(const sd_fault_tree& tree,
+                                        const analysis_options& opt) {
+  const stopwatch total_timer;
+  obs::span_scope run_span("engine.run");
+  analysis_result result;
+  engine_stats& stats = result.stats;
+  stats.backend = to_string(cutset_backend::mc);
+  stats.bdd_ordering = to_string(opt.bdd_ordering);
+
+  std::optional<thread_pool> pool;
+  if (!opt.inline_execution) pool.emplace(opt.threads);
+  thread_pool* pool_ptr = pool ? &*pool : nullptr;
+
+  sim::mc_options mc = opt.mc;
+
+  // The splitting level count and the optional exact-static certificate
+  // both live on the preprocessed FT-bar, so stages 1–1b run exactly when
+  // one of them is needed; the trajectory campaign itself simulates the
+  // original SD tree and needs neither.
+  const bool derive_levels =
+      mc.method == sim::mc_method::splitting && mc.levels == 0;
+  if (derive_levels || opt.exact_static) {
+    stopwatch stage_timer;
+    const static_translation translation = [&] {
+      obs::span_scope span("engine.translate");
+      span.arg("events", static_cast<double>(tree.structure().size()));
+      return translate_to_static(tree, opt.horizon, opt.epsilon,
+                                 opt.reference_cutoff);
+    }();
+    stats.translate_seconds = stage_timer.seconds();
+    stage_timer.reset();
+    prep_result prep = [&] {
+      obs::span_scope span("engine.prep");
+      return preprocess(translation.ft_bar, opt.prep);
+    }();
+    stats.prep_seconds = stage_timer.seconds();
+    fill_prep_stats(stats, prep.stats);
+
+    if (derive_levels) {
+      // Depth-to-top of the prep workgraph: the longest leaf-to-top path
+      // in the rewritten FT-bar, i.e. how many structural layers the
+      // importance function can climb through. Clamped so degenerate
+      // shapes still split and deep DAGs do not starve per-stage effort.
+      const fault_tree& pt = prep.tree;
+      std::vector<std::size_t> depth(pt.size(), 0);
+      std::size_t top_depth = 0;
+      for (node_index n : pt.topo_order()) {
+        const ft_node& node = pt.node(n);
+        if (node.kind != node_kind::gate) continue;
+        for (node_index child : node.inputs) {
+          depth[n] = std::max(depth[n], depth[child] + 1);
+        }
+        if (n == pt.top()) top_depth = depth[n];
+      }
+      mc.levels = std::clamp<std::size_t>(top_depth, 2, 8);
+    }
+
+    if (opt.exact_static) {
+      stage_timer.reset();
+      obs::span_scope exact_span("engine.exact_static");
+      structure_entry entry;
+      entry.prep_to_source = std::move(prep.to_source);
+      entry.prep_tree =
+          std::make_shared<const fault_tree>(std::move(prep.tree));
+      std::size_t node_count = 0;
+      std::size_t sift_swaps = 0;
+      result.exact_static_probability = entry.exact_static_probability(
+          opt.bdd_ordering, exact_static_overrides(entry, translation),
+          &node_count, &sift_swaps);
+      stats.bdd_sift_swaps += sift_swaps;
+      stats.exact_static_seconds = stage_timer.seconds();
+      exact_span.arg("nodes", static_cast<double>(node_count));
+      exact_span.arg("probability", result.exact_static_probability);
+    }
+  }
+
+  // The campaign: batched trajectories on the engine pool, reproducible
+  // at any thread count (counter-based substreams, fixed reduction order).
+  stopwatch mc_timer;
+  {
+    obs::span_scope mc_span("engine.mc");
+    result.mc =
+        sim::estimate_failure_probability_mc(tree, opt.horizon, mc, pool_ptr);
+    mc_span.arg("trajectories", static_cast<double>(result.mc.trajectories));
+    mc_span.arg("estimate", result.mc.estimate);
+    mc_span.arg("relative_error", result.mc.relative_error);
+  }
+  stats.mc_seconds = mc_timer.seconds();
+  stats.mc_method = sim::to_string(result.mc.method);
+  stats.mc_trajectories = result.mc.trajectories;
+  stats.mc_failures = result.mc.failures;
+  stats.mc_levels = result.mc.levels_used;
+  stats.mc_replications = result.mc.replications;
+  stats.mc_estimate = result.mc.estimate;
+  stats.mc_std_error = result.mc.std_error;
+  stats.mc_ci_half_width = result.mc.ci_half_width;
+  stats.mc_relative_error = result.mc.relative_error;
+  stats.pool_threads = pool_ptr != nullptr ? pool_ptr->size() : 1;
+
+  result.failure_probability = result.mc.estimate;
+  stats.total_seconds = total_timer.seconds();
+  run_span.arg("mc_trajectories", static_cast<double>(stats.mc_trajectories));
+  if (opt.publish_metrics) {
+    stats.publish(obs::metrics_registry::global());
+  }
+  result.total_seconds = stats.total_seconds;
+  return result;
+}
+
 analysis_result analysis_engine::run(const sd_fault_tree& tree,
                                      const analysis_options& opt) {
+  if (opt.backend == cutset_backend::mc) return run_mc(tree, opt);
   const stopwatch total_timer;
   obs::span_scope run_span("engine.run");
   analysis_result result;
@@ -432,6 +542,9 @@ void analysis_engine::prime(const sd_fault_tree& tree) {
 
 void analysis_engine::prime(const sd_fault_tree& tree,
                             const analysis_options& options) {
+  // The mc backend generates no cutsets: nothing to park in the
+  // structure cache, so priming is a no-op.
+  if (options.backend == cutset_backend::mc) return;
   obs::span_scope span("engine.prime");
   analysis_options opt = options;
   opt.use_structure_cache = true;  // priming without the cache is a no-op

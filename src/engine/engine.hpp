@@ -12,6 +12,7 @@
 #include "mcs/cutset.hpp"
 #include "prep/prep.hpp"
 #include "sdft/sd_fault_tree.hpp"
+#include "sim/mc.hpp"
 
 namespace sdft {
 class thread_pool;
@@ -54,8 +55,17 @@ struct analysis_options {
   /// list independent of the dynamic models.
   bool reference_cutoff = false;
 
-  /// Minimal-cutset generator for stage 2 (see cutset_backend).
+  /// Minimal-cutset generator for stage 2 (see cutset_backend). With
+  /// cutset_backend::mc the engine skips the cutset pipeline entirely and
+  /// estimates the top-event probability by Monte-Carlo simulation
+  /// (options in `mc` below; result in analysis_result::mc).
   cutset_backend backend = cutset_backend::mocus;
+
+  /// Monte-Carlo campaign options for the mc backend (estimator family,
+  /// trajectory budget, seed, splitting/forcing knobs). `mc.levels == 0`
+  /// derives the splitting levels from the prep workgraph's depth-to-top.
+  /// Ignored by the cutset backends.
+  sim::mc_options mc;
 
   /// Variable-ordering heuristic of every BDD the run compiles (the bdd
   /// backend's stage-2 BDDs and the --exact-static BDD). Orderings change
@@ -123,6 +133,12 @@ struct analysis_result {
   /// (only when analysis_options::exact_static is set; 0 otherwise). An
   /// upper bound certificate for the truncated static rare-event sum.
   double exact_static_probability = 0;
+
+  /// Monte-Carlo campaign result (mc backend only): the point estimate
+  /// (mirrored into failure_probability), its 95% confidence interval,
+  /// relative error and trajectory count. mc.trajectories == 0 on the
+  /// cutset backends.
+  sim::mc_result mc;
 
   std::size_t num_cutsets = 0;          ///< relevant MCSs found on FT-bar
   std::size_t num_dynamic_cutsets = 0;  ///< MCSs quantified dynamically
@@ -205,6 +221,12 @@ class analysis_engine {
   acquired_structure acquire(const sd_fault_tree& tree,
                              const analysis_options& opt, thread_pool* pool,
                              engine_stats& stats);
+
+  /// The mc-backend pipeline: translate/prep only as far as the
+  /// importance levels and the optional exact-static stage need, then a
+  /// batched Monte-Carlo campaign instead of stages 2–4.
+  analysis_result run_mc(const sd_fault_tree& tree,
+                         const analysis_options& opt);
 
   analysis_options options_;
   quantification_cache cache_;

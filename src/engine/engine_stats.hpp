@@ -17,8 +17,12 @@ namespace sdft {
 /// metrics() (the same keys `sdft analyze --metrics-json` and the BENCH_*
 /// exports carry; see DESIGN.md §11).
 struct engine_stats {
-  /// Name of the cutset source used ("mocus" or "bdd").
+  /// Name of the cutset source used ("mocus", "bdd" or "mc").
   std::string backend;
+
+  /// Monte-Carlo estimator of an mc-backend run ("crude", "forcing",
+  /// "splitting"); empty on cutset backends. Published as a label.
+  std::string mc_method;
 
   /// BDD variable ordering of the run ("dfs", "natural", "weight",
   /// "sift"); published as a label like `backend`.
@@ -98,6 +102,20 @@ struct engine_stats {
   std::size_t quantify_steals = 0;
   double quantify_occupancy = 0;
 
+  // Monte-Carlo backend counters (zero on cutset-backend runs): the
+  // campaign shape and the estimate's statistical quality, mirrored from
+  // analysis_result::mc so every consumer of the vocabulary (--stats,
+  // --metrics-json, BENCH_mc rows, serve `stats`) sees them.
+  double mc_seconds = 0;          ///< trajectory-campaign wall time
+  std::size_t mc_trajectories = 0;  ///< trajectories consumed
+  std::size_t mc_failures = 0;      ///< failure hits / final-level crossings
+  std::size_t mc_levels = 0;        ///< splitting levels used (0 otherwise)
+  std::size_t mc_replications = 0;  ///< splitting replications (0 otherwise)
+  double mc_estimate = 0;           ///< point estimate
+  double mc_std_error = 0;          ///< standard error of the estimate
+  double mc_ci_half_width = 0;      ///< 95% CI half-width
+  double mc_relative_error = 0;     ///< half-width / estimate (0 if empty)
+
   /// Field-wise accumulation for batched runs (the sweep aggregate):
   /// seconds and event counts sum, occupancies keep the maximum, entry
   /// gauges and labels keep the latest snapshot.
@@ -154,6 +172,18 @@ struct engine_stats {
     quantify_tasks += o.quantify_tasks;
     quantify_steals += o.quantify_steals;
     quantify_occupancy = std::max(quantify_occupancy, o.quantify_occupancy);
+    mc_method = o.mc_method;
+    mc_seconds += o.mc_seconds;
+    mc_trajectories += o.mc_trajectories;
+    mc_failures += o.mc_failures;
+    mc_levels = std::max(mc_levels, o.mc_levels);
+    mc_replications = std::max(mc_replications, o.mc_replications);
+    // Statistical gauges keep the latest snapshot, like the cache gauges:
+    // summing estimates across points would be meaningless.
+    mc_estimate = o.mc_estimate;
+    mc_std_error = o.mc_std_error;
+    mc_ci_half_width = o.mc_ci_half_width;
+    mc_relative_error = o.mc_relative_error;
   }
 
   /// Hits / (hits + misses); 0 when no dynamic cutset was quantified.
@@ -222,6 +252,15 @@ struct engine_stats {
         {"quant.tasks", n(quantify_tasks)},
         {"quant.steals", n(quantify_steals)},
         {"pool.occupancy", quantify_occupancy},
+        {"mc.seconds", mc_seconds},
+        {"mc.trajectories", n(mc_trajectories)},
+        {"mc.failures", n(mc_failures)},
+        {"mc.levels", n(mc_levels)},
+        {"mc.replications", n(mc_replications)},
+        {"mc.estimate", mc_estimate},
+        {"mc.std_error", mc_std_error},
+        {"mc.ci_half_width", mc_ci_half_width},
+        {"mc.relative_error", mc_relative_error},
     };
   }
 
@@ -232,7 +271,10 @@ struct engine_stats {
     for (const auto& [name, value] : metrics()) {
       const bool is_gauge = name.find("seconds") != std::string::npos ||
                             name.find("occupancy") != std::string::npos ||
-                            name.find("rate") != std::string::npos;
+                            name.find("rate") != std::string::npos ||
+                            name.find("estimate") != std::string::npos ||
+                            name.find("error") != std::string::npos ||
+                            name.find("width") != std::string::npos;
       if (is_gauge) {
         registry.set_gauge(name, value);
       } else {
@@ -241,6 +283,7 @@ struct engine_stats {
     }
     registry.set_label("engine.backend", backend);
     registry.set_label("bdd.ordering", bdd_ordering);
+    registry.set_label("mc.method", mc_method);
   }
 };
 

@@ -239,7 +239,9 @@ sweep_result run_sweep(analysis_engine& engine, const sd_fault_tree& base,
   // replays stages 1b–2 from the cache (reachability probabilities are
   // nondecreasing in the horizon, so the max-horizon FT-bar probabilities
   // bound every point's).
-  if (base_opts.use_structure_cache) {
+  // (The mc backend generates no cutsets, so there is no structure to
+  // prime — every point is an independent trajectory campaign.)
+  if (base_opts.use_structure_cache && base_opts.backend != cutset_backend::mc) {
     const stopwatch prime_timer;
     sd_fault_tree envelope = base;
     double max_horizon = base_opts.horizon;

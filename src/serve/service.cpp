@@ -30,6 +30,54 @@ double checked_probability(const std::string& name, double p) {
   return p;
 }
 
+/// Shared backend/"mc" request grammar of the analyze and sweep ops:
+///   "backend": "mocus" | "bdd" | "mc",
+///   "mc": {"method": "crude"|"forcing"|"splitting", "trajectories": N,
+///          "seed": S, "batch": N, "levels": N, "replications": N}
+void apply_backend_request(const json::value& root, analysis_options& opts) {
+  if (root.contains("backend")) {
+    const std::string& name = root.at("backend").as_string();
+    require_model(parse_cutset_backend(name, opts.backend),
+                  "serve: unknown backend '" + name + "'");
+  }
+  if (!root.contains("mc")) return;
+  const json::value& mc = root.at("mc");
+  require_model(mc.is_object(), "serve: 'mc' must be an object");
+  if (mc.contains("method")) {
+    const std::string& method = mc.at("method").as_string();
+    require_model(sim::parse_mc_method(method, opts.mc.method),
+                  "serve: unknown mc method '" + method + "'");
+  }
+  if (mc.contains("trajectories")) {
+    opts.mc.trajectories =
+        static_cast<std::size_t>(mc.at("trajectories").as_number());
+  }
+  if (mc.contains("seed")) {
+    opts.mc.seed = static_cast<std::uint64_t>(mc.at("seed").as_number());
+  }
+  if (mc.contains("batch")) {
+    opts.mc.batch = static_cast<std::size_t>(mc.at("batch").as_number());
+  }
+  if (mc.contains("levels")) {
+    opts.mc.levels = static_cast<std::size_t>(mc.at("levels").as_number());
+  }
+  if (mc.contains("replications")) {
+    opts.mc.replications =
+        static_cast<std::size_t>(mc.at("replications").as_number());
+  }
+}
+
+/// The per-result confidence-interval fields of an mc-backend response.
+void write_mc_fields(json::writer& w, const sim::mc_result& mc) {
+  w.key("mc_method").string(sim::to_string(mc.method));
+  w.key("ci_low").number(mc.ci_low);
+  w.key("ci_high").number(mc.ci_high);
+  w.key("ci_half_width").number(mc.ci_half_width);
+  w.key("relative_error").number(mc.relative_error);
+  w.key("trajectories").integer(mc.trajectories);
+  w.key("failures").integer(mc.failures);
+}
+
 }  // namespace
 
 analysis_service::analysis_service(analysis_options engine_options)
@@ -132,6 +180,7 @@ std::string analysis_service::handle(const std::string& line) {
       if (root.contains("exact_static")) {
         opts.exact_static = root.at("exact_static").as_bool();
       }
+      apply_backend_request(root, opts);
       analysis_result result;
       if (root.contains("overrides")) {
         sd_fault_tree perturbed = *tree;
@@ -154,15 +203,20 @@ std::string analysis_service::handle(const std::string& line) {
         w.key("exact_static_probability")
             .number(result.exact_static_probability);
       }
-      w.key("cutsets").integer(result.num_cutsets);
-      w.key("dynamic_cutsets").integer(result.num_dynamic_cutsets);
-      w.key("struct_cache_hit").boolean(result.stats.struct_cache_hits > 0);
+      if (opts.backend == cutset_backend::mc) {
+        write_mc_fields(w, result.mc);
+      } else {
+        w.key("cutsets").integer(result.num_cutsets);
+        w.key("dynamic_cutsets").integer(result.num_dynamic_cutsets);
+        w.key("struct_cache_hit").boolean(result.stats.struct_cache_hits > 0);
+      }
       w.key("seconds").number(result.total_seconds);
     } else if (op == "sweep") {
       const auto tree = model(root.at("model").as_string());
       analysis_options opts = engine_.options();
       if (root.contains("horizon")) opts.horizon = root.at("horizon").as_number();
       if (root.contains("cutoff")) opts.cutoff = root.at("cutoff").as_number();
+      apply_backend_request(root, opts);
       // The request object itself carries the sweep grammar ("points" or
       // "params" arrays, see engine/sweep.hpp).
       const sweep_spec spec = resolve_sweep(parse_sweep_value(root), *tree);
@@ -173,10 +227,13 @@ std::string analysis_service::handle(const std::string& line) {
             .key("label")
             .string(spec.points[i].label)
             .key("probability")
-            .number(result.points[i].failure_probability)
-            .key("cutsets")
-            .integer(result.points[i].num_cutsets)
-            .end_object();
+            .number(result.points[i].failure_probability);
+        if (opts.backend == cutset_backend::mc) {
+          write_mc_fields(w, result.points[i].mc);
+        } else {
+          w.key("cutsets").integer(result.points[i].num_cutsets);
+        }
+        w.end_object();
       }
       w.end_array();
       w.key("struct_cache_hits").integer(result.struct_cache_hits);

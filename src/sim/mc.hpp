@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sdft/sd_fault_tree.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sdft::sim {
+
+/// Monte-Carlo estimator family (DESIGN.md §15).
+enum class mc_method : std::uint8_t {
+  crude,     ///< plain sampling under the nominal law
+  forcing,   ///< importance sampling: rare static events biased up,
+             ///< unbiasedness restored by likelihood-ratio weights
+  splitting  ///< fixed-effort RESTART over the importance function
+};
+
+std::string to_string(mc_method method);
+
+/// Parses "crude" / "forcing" / "splitting"; returns false on anything else.
+bool parse_mc_method(std::string_view text, mc_method& out);
+
+/// Options of a Monte-Carlo estimation campaign.
+struct mc_options {
+  mc_method method = mc_method::forcing;
+
+  /// Total trajectory budget. Splitting divides it across
+  /// replications x levels stages (effort per stage), so campaigns with
+  /// equal `trajectories` are comparable across methods.
+  std::size_t trajectories = 100'000;
+
+  std::uint64_t seed = 1;
+
+  /// Trajectories per pool task (crude/forcing). Purely a scheduling
+  /// knob: results are bit-identical for any batch size and thread count
+  /// because streams are keyed by global trajectory index and batch
+  /// partials are reduced in index order.
+  std::size_t batch = 4096;
+
+  /// Splitting levels; 0 derives them from the importance-function depth
+  /// (the engine passes the prep workgraph depth-to-top here).
+  std::size_t levels = 0;
+
+  /// Splitting replications: independent RESTART runs whose means form
+  /// the confidence interval.
+  std::size_t replications = 32;
+
+  /// Forcing: target expected number of forced static failures per
+  /// trajectory. Biased probability q_e = clamp(p_e * mass / sum_p, p_e,
+  /// max(max_bias, p_e)); on non-rare models the clamp at p_e makes
+  /// forcing degrade to crude exactly. Keep the target moderate: with many
+  /// biased events an aggressive boost makes the likelihood-ratio weights
+  /// heavy-tailed, and the sample variance (hence the CI) no longer sees
+  /// the unsampled tail mass.
+  double forcing_mass = 2.0;
+
+  /// Forcing: upper clamp on biased static probabilities. Also the
+  /// rareness threshold — events with p_e >= max_bias are never biased.
+  /// The low default bounds the per-event weight factor (1-p)/(1-q) and
+  /// keeps the weight distribution well-conditioned on wide models.
+  double max_bias = 0.1;
+
+  /// Global stream offset: trajectory i draws from substream(seed,
+  /// first_trajectory + i). Campaigns [0, n) and [n, n + m) concatenate
+  /// to exactly the campaign [0, n + m) — the stream-additivity contract.
+  std::size_t first_trajectory = 0;
+
+  /// Bound on trigger-update sweeps per instantaneous step.
+  std::size_t max_update_sweeps = 64;
+};
+
+/// Result of a Monte-Carlo campaign: a point estimate with a normal 95%
+/// confidence interval from the weighted-sample variance (crude/forcing)
+/// or the replication means (splitting).
+struct mc_result {
+  double estimate = 0;
+  double std_error = 0;
+  double ci_low = 0;
+  double ci_high = 0;
+  double ci_half_width = 0;
+  /// ci_half_width / estimate; 0 when the estimate is 0 (empty campaign).
+  double relative_error = 0;
+
+  /// Trajectories actually consumed (splitting rounds the budget down to
+  /// replications x levels x effort).
+  std::size_t trajectories = 0;
+  /// Raw hit count: failed trajectories (crude/forcing) or final-level
+  /// crossings summed over replications (splitting).
+  std::size_t failures = 0;
+  std::size_t levels_used = 0;
+  std::size_t replications = 0;
+  mc_method method = mc_method::crude;
+
+  /// True iff no trajectory ever hit the failure set — the "empty CI"
+  /// signature of crude MC on a rare event.
+  bool empty() const { return failures == 0; }
+
+  /// True iff `p` lies within the 95% confidence interval.
+  bool consistent_with(double p) const { return p >= ci_low && p <= ci_high; }
+};
+
+/// Runs a Monte-Carlo estimation campaign for Pr[Reach<=horizon(F)] of the
+/// SD fault tree. Batches are fanned out over `pool` when given (falling
+/// back to the calling thread otherwise); results are bit-identical for
+/// any pool size because every random draw comes from a counter-based
+/// substream keyed by (seed, trajectory) or (seed, replication, stage,
+/// slot) and reductions run in fixed index order.
+mc_result estimate_failure_probability_mc(const sd_fault_tree& tree,
+                                          double horizon,
+                                          const mc_options& options,
+                                          thread_pool* pool = nullptr);
+
+}  // namespace sdft::sim

@@ -1,162 +1,37 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <variant>
 
-#include "ft/evaluator.hpp"
+#include "sim/stream_rng.hpp"
+#include "sim/trajectory.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace sdft {
-
-namespace {
-
-/// Per-component view of one run: the chain, the current local state, and
-/// the trigger wiring.
-struct component {
-  const ctmc* chain = nullptr;
-  node_index event = 0;
-  state_index local = 0;
-  // Trigger data (null for untriggered components).
-  node_index trigger_gate = fault_tree::npos;
-  const std::vector<char>* on_state = nullptr;
-  const std::vector<state_index>* to_on = nullptr;
-  const std::vector<state_index>* to_off = nullptr;
-};
-
-class simulator {
- public:
-  simulator(const sd_fault_tree& tree, const simulation_options& options)
-      : tree_(tree), options_(options), eval_(tree.structure()) {
-    const fault_tree& ft = tree_.structure();
-    for (node_index b : ft.basic_events()) {
-      component comp;
-      comp.event = b;
-      if (tree_.is_dynamic(b)) {
-        const dynamic_model& model = tree_.model_of(b);
-        if (const auto* trig = std::get_if<triggered_ctmc>(&model)) {
-          comp.chain = &trig->chain;
-          comp.trigger_gate = tree_.trigger_gate_of(b);
-          comp.on_state = &trig->on_state;
-          comp.to_on = &trig->to_on;
-          comp.to_off = &trig->to_off;
-        } else {
-          comp.chain = &std::get<ctmc>(model);
-        }
-      }
-      components_.push_back(comp);
-    }
-    failed_basic_.assign(ft.size(), 0);
-  }
-
-  /// One run; returns true iff the top gate fails before `horizon`.
-  bool run(double horizon, rng& random) {
-    // Initial states: statics fail at time 0 with their probability,
-    // chains sample their initial distribution.
-    for (auto& comp : components_) {
-      if (comp.chain == nullptr) {
-        const double p = tree_.structure().node(comp.event).probability;
-        failed_basic_[comp.event] = random.chance(p) ? 1 : 0;
-        continue;
-      }
-      double u = random.uniform();
-      comp.local = 0;
-      for (state_index s = 0; s < comp.chain->num_states(); ++s) {
-        u -= comp.chain->initial(s);
-        if (u <= 0.0) {
-          comp.local = s;
-          break;
-        }
-      }
-    }
-    if (settle_and_check()) return true;
-
-    double now = 0.0;
-    for (;;) {
-      // Sample the next jump over all active components (memorylessness
-      // lets us resample after every state change).
-      double best_time = horizon;
-      component* jumper = nullptr;
-      for (auto& comp : components_) {
-        if (comp.chain == nullptr) continue;
-        const double exit = comp.chain->exit_rate(comp.local);
-        if (exit <= 0.0) continue;
-        const double dt = -std::log(1.0 - random.uniform()) / exit;
-        if (now + dt < best_time) {
-          best_time = now + dt;
-          jumper = &comp;
-        }
-      }
-      if (jumper == nullptr || best_time >= horizon) return false;
-      now = best_time;
-
-      // Choose the target proportionally to the transition rates.
-      const auto& transitions = jumper->chain->transitions_from(jumper->local);
-      double u = random.uniform() * jumper->chain->exit_rate(jumper->local);
-      state_index target = transitions.back().first;
-      for (const auto& [to, rate] : transitions) {
-        u -= rate;
-        if (u <= 0.0) {
-          target = to;
-          break;
-        }
-      }
-      jumper->local = target;
-      if (settle_and_check()) return true;
-    }
-  }
-
- private:
-  /// Applies trigger updates until stable; returns whether the top gate is
-  /// failed in the settled state.
-  bool settle_and_check() {
-    for (std::size_t sweep = 0; sweep <= options_.max_update_sweeps;
-         ++sweep) {
-      for (const auto& comp : components_) {
-        if (comp.chain != nullptr) {
-          failed_basic_[comp.event] = comp.chain->failed(comp.local) ? 1 : 0;
-        }
-      }
-      eval_.evaluate(failed_basic_, node_failed_);
-      bool changed = false;
-      for (auto& comp : components_) {
-        if (comp.trigger_gate == fault_tree::npos) continue;
-        const bool demanded = node_failed_[comp.trigger_gate] != 0;
-        const bool on = (*comp.on_state)[comp.local] != 0;
-        if (demanded && !on) {
-          comp.local = (*comp.to_on)[comp.local];
-          changed = true;
-        } else if (!demanded && on) {
-          comp.local = (*comp.to_off)[comp.local];
-          changed = true;
-        }
-      }
-      if (!changed) return node_failed_[tree_.structure().top()] != 0;
-    }
-    throw model_error("simulator: trigger updates did not stabilise");
-  }
-
-  const sd_fault_tree& tree_;
-  const simulation_options options_;
-  ft_evaluator eval_;
-  std::vector<component> components_;
-  std::vector<char> failed_basic_;
-  std::vector<char> node_failed_;
-};
-
-}  // namespace
 
 simulation_result simulate_failure_probability(
     const sd_fault_tree& tree, double horizon,
     const simulation_options& options) {
   require_model(options.runs > 0, "simulator: need at least one run");
   tree.validate();
-  simulator sim(tree, options);
-  rng random(options.seed);
+  sim::trajectory_model model(tree, options.max_update_sweeps);
 
+  // Each run draws from its own counter-based substream keyed by the
+  // global trajectory index. Earlier revisions shared one sequential rng
+  // across all runs, which made run i depend on every draw before it —
+  // batches could neither be reproduced in isolation nor concatenated.
   std::size_t failures = 0;
+  sim::trajectory_state state;
   for (std::size_t i = 0; i < options.runs; ++i) {
-    if (sim.run(horizon, random)) ++failures;
+    rng random =
+        sim::substream(options.seed, options.first_trajectory + i);
+    bool failed = model.init(state, random);
+    if (!failed) {
+      failed = model.advance(state, horizon, random) ==
+               sim::advance_outcome::failed;
+    }
+    if (failed) ++failures;
   }
 
   simulation_result out;

@@ -12,6 +12,13 @@ struct simulation_options {
   std::size_t runs = 100'000;
   std::uint64_t seed = 1;
 
+  /// Global stream offset: run i draws from the counter-based substream
+  /// keyed by (seed, first_trajectory + i), never from a shared sequential
+  /// stream. Campaigns [0, n) and [n, n + m) therefore concatenate to
+  /// exactly the campaign [0, n + m), and per-run results are independent
+  /// of how many runs came before.
+  std::size_t first_trajectory = 0;
+
   /// Bound on trigger-update sweeps per instantaneous step (acyclic
   /// triggering settles within the trigger depth; exceeding this indicates
   /// a broken model and throws).

@@ -1,0 +1,213 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace sdft::sim {
+
+trajectory_model::trajectory_model(const sd_fault_tree& tree,
+                                   std::size_t max_update_sweeps)
+    : tree_(tree),
+      max_update_sweeps_(max_update_sweeps),
+      topo_(tree.structure().topo_order()) {
+  const fault_tree& ft = tree_.structure();
+  for (node_index b : ft.basic_events()) {
+    component comp;
+    comp.event = b;
+    if (tree_.is_dynamic(b)) {
+      const dynamic_model& model = tree_.model_of(b);
+      if (const auto* trig = std::get_if<triggered_ctmc>(&model)) {
+        comp.chain = &trig->chain;
+        comp.trigger_gate = tree_.trigger_gate_of(b);
+        comp.on_state = &trig->on_state;
+        comp.to_on = &trig->to_on;
+        comp.to_off = &trig->to_off;
+      } else {
+        comp.chain = &std::get<ctmc>(model);
+      }
+      has_dynamics_ = true;
+    }
+    components_.push_back(comp);
+  }
+}
+
+bool trajectory_model::init(trajectory_state& s, rng& random,
+                            const std::vector<double>* bias) const {
+  const fault_tree& ft = tree_.structure();
+  s.now = 0.0;
+  s.weight = 1.0;
+  s.locals.assign(components_.size(), 0);
+  s.failed_basic.assign(ft.size(), 0);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const component& comp = components_[i];
+    if (comp.chain == nullptr) {
+      const double p = ft.node(comp.event).probability;
+      const double q = bias != nullptr ? (*bias)[comp.event] : p;
+      const bool fail = random.uniform() < q;
+      s.failed_basic[comp.event] = fail ? 1 : 0;
+      if (q != p) s.weight *= fail ? p / q : (1.0 - p) / (1.0 - q);
+      continue;
+    }
+    double u = random.uniform();
+    s.locals[i] = 0;
+    for (state_index st = 0; st < comp.chain->num_states(); ++st) {
+      u -= comp.chain->initial(st);
+      if (u <= 0.0) {
+        s.locals[i] = st;
+        break;
+      }
+    }
+  }
+  return settle(s);
+}
+
+advance_outcome trajectory_model::advance(trajectory_state& s, double horizon,
+                                          rng& random,
+                                          double phi_threshold) const {
+  const bool watch_phi = phi_threshold <= 1.0;
+  for (;;) {
+    // Sample the next jump over all active components (memorylessness lets
+    // us resample after every state change).
+    double best_time = horizon;
+    std::size_t jumper = components_.size();
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const component& comp = components_[i];
+      if (comp.chain == nullptr) continue;
+      const double exit = comp.chain->exit_rate(s.locals[i]);
+      if (exit <= 0.0) continue;
+      const double dt = -std::log(1.0 - random.uniform()) / exit;
+      if (s.now + dt < best_time) {
+        best_time = s.now + dt;
+        jumper = i;
+      }
+    }
+    if (jumper == components_.size() || best_time >= horizon) {
+      s.now = horizon;
+      return advance_outcome::survived;
+    }
+    s.now = best_time;
+
+    // Choose the target proportionally to the transition rates.
+    const component& comp = components_[jumper];
+    const auto& transitions = comp.chain->transitions_from(s.locals[jumper]);
+    double u = random.uniform() * comp.chain->exit_rate(s.locals[jumper]);
+    state_index target = transitions.back().first;
+    for (const auto& [to, rate] : transitions) {
+      u -= rate;
+      if (u <= 0.0) {
+        target = to;
+        break;
+      }
+    }
+    s.locals[jumper] = target;
+    if (settle(s)) return advance_outcome::failed;
+    if (watch_phi && importance(s) >= phi_threshold) {
+      return advance_outcome::crossed;
+    }
+  }
+}
+
+double trajectory_model::importance(const trajectory_state& s) const {
+  const fault_tree& ft = tree_.structure();
+  std::vector<double> phi(ft.size(), 0.0);
+  std::vector<double> scratch;
+  for (node_index n : topo_) {
+    const ft_node& node = ft.node(n);
+    if (node.kind == node_kind::basic) {
+      phi[n] = s.failed_basic[n] != 0 ? 1.0 : 0.0;
+    } else if (node.inputs.empty()) {
+      // Constant gates: empty AND is TRUE, empty OR is FALSE.
+      phi[n] = node.type == gate_type::and_gate ? 1.0 : 0.0;
+    } else if (node.type == gate_type::or_gate) {
+      double best = 0.0;
+      for (node_index child : node.inputs) best = std::max(best, phi[child]);
+      phi[n] = best;
+    } else if (node.type == gate_type::and_gate) {
+      double sum = 0.0;
+      for (node_index child : node.inputs) sum += phi[child];
+      phi[n] = sum / static_cast<double>(node.inputs.size());
+    } else {
+      // atleast(k): mean of the k largest children — 1 exactly when k
+      // children are failed, monotone below that.
+      scratch.clear();
+      for (node_index child : node.inputs) scratch.push_back(phi[child]);
+      const std::size_t k = node.k;
+      std::partial_sort(scratch.begin(), scratch.begin() + k, scratch.end(),
+                        std::greater<double>());
+      double sum = 0.0;
+      for (std::size_t i = 0; i < k; ++i) sum += scratch[i];
+      phi[n] = sum / static_cast<double>(k);
+    }
+  }
+  return phi[ft.top()];
+}
+
+std::size_t trajectory_model::depth() const {
+  const fault_tree& ft = tree_.structure();
+  std::vector<std::size_t> depth(ft.size(), 0);
+  for (node_index n : topo_) {
+    const ft_node& node = ft.node(n);
+    if (node.kind != node_kind::gate) continue;
+    std::size_t best = 0;
+    for (node_index child : node.inputs) {
+      best = std::max(best, depth[child] + 1);
+    }
+    depth[n] = best;
+  }
+  return depth[ft.top()];
+}
+
+bool trajectory_model::settle(trajectory_state& s) const {
+  const fault_tree& ft = tree_.structure();
+  for (std::size_t sweep = 0; sweep <= max_update_sweeps_; ++sweep) {
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const component& comp = components_[i];
+      if (comp.chain != nullptr) {
+        s.failed_basic[comp.event] =
+            comp.chain->failed(s.locals[i]) ? 1 : 0;
+      }
+    }
+    s.node_failed.assign(ft.size(), 0);
+    for (node_index n : topo_) {
+      const ft_node& node = ft.node(n);
+      if (node.kind == node_kind::basic) {
+        s.node_failed[n] = s.failed_basic[n];
+      } else if (node.type == gate_type::and_gate) {
+        char all = 1;
+        for (node_index child : node.inputs) all &= s.node_failed[child];
+        s.node_failed[n] = all;
+      } else if (node.type == gate_type::atleast_gate) {
+        std::uint32_t count = 0;
+        for (node_index child : node.inputs) {
+          count += s.node_failed[child] ? 1U : 0U;
+        }
+        s.node_failed[n] = count >= node.k ? 1 : 0;
+      } else {
+        char any = 0;
+        for (node_index child : node.inputs) any |= s.node_failed[child];
+        s.node_failed[n] = any;
+      }
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const component& comp = components_[i];
+      if (comp.trigger_gate == fault_tree::npos) continue;
+      const bool demanded = s.node_failed[comp.trigger_gate] != 0;
+      const bool on = (*comp.on_state)[s.locals[i]] != 0;
+      if (demanded && !on) {
+        s.locals[i] = (*comp.to_on)[s.locals[i]];
+        changed = true;
+      } else if (!demanded && on) {
+        s.locals[i] = (*comp.to_off)[s.locals[i]];
+        changed = true;
+      }
+    }
+    if (!changed) return s.node_failed[ft.top()] != 0;
+  }
+  throw model_error("simulator: trigger updates did not stabilise");
+}
+
+}  // namespace sdft::sim

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sdft/sd_fault_tree.hpp"
+#include "util/rng.hpp"
+
+namespace sdft::sim {
+
+/// The mutable part of one simulated trajectory. The immutable model data
+/// (chains, trigger wiring, evaluator order) lives in trajectory_model, so
+/// one model instance can drive many concurrent trajectories — each worker
+/// owns its own state and rng.
+struct trajectory_state {
+  double now = 0.0;
+  /// Likelihood-ratio weight: 1 under the nominal law, Π p/q over biased
+  /// draws under failure forcing (sim/mc.hpp).
+  double weight = 1.0;
+  /// Chain-local state per dynamic component (trajectory_model component
+  /// order); statics have no entry semantics here and stay 0.
+  std::vector<state_index> locals;
+  /// Per-node failure flags, indexed by node_index over the whole tree.
+  std::vector<char> failed_basic;
+  /// Scratch: per-node evaluation output of the last settle sweep.
+  std::vector<char> node_failed;
+};
+
+/// Why advance() returned.
+enum class advance_outcome {
+  failed,    ///< top gate failed before the horizon
+  survived,  ///< horizon reached with the top gate intact
+  crossed,   ///< importance reached the requested threshold (top intact)
+};
+
+/// Shared, immutable trajectory engine over one SD fault tree: samples
+/// initial states (optionally under a biased static-event law, tracking
+/// likelihood weights), advances the CTMC race with instantaneous trigger
+/// settling, and evaluates the importance function used by splitting.
+///
+/// This is the core the plain simulator (sim/simulator.hpp) and all MC
+/// estimators (sim/mc.hpp) are built on. Thread-safe for concurrent use:
+/// all mutable data lives in trajectory_state.
+class trajectory_model {
+ public:
+  explicit trajectory_model(const sd_fault_tree& tree,
+                            std::size_t max_update_sweeps = 64);
+
+  /// Samples the time-0 state into `s` (resizing its buffers): statics
+  /// fail with their probability, chains draw their initial distribution,
+  /// and triggers are settled. With `bias`, static event e fails with
+  /// bias[e] instead of p_e and s.weight accumulates the likelihood ratio
+  /// (bias is indexed by node_index; entries for non-static nodes are
+  /// ignored). Returns true iff the top gate is failed at time 0.
+  bool init(trajectory_state& s, rng& random,
+            const std::vector<double>* bias = nullptr) const;
+
+  /// Advances the trajectory from s.now until the top gate fails, the
+  /// horizon is reached, or — when phi_threshold <= 1 — the importance
+  /// function reaches phi_threshold. The state is left at the stopping
+  /// point, so a `crossed` state can be snapshotted and re-advanced
+  /// (fixed-effort splitting does exactly that).
+  ///
+  /// Note: init() already settles time 0; callers must check its return
+  /// (or importance()) before the first advance.
+  advance_outcome advance(trajectory_state& s, double horizon, rng& random,
+                          double phi_threshold = 2.0) const;
+
+  /// Importance function over the settled state, in [0, 1] with
+  /// phi == 1 iff the top gate is failed: basic = failed ? 1 : 0,
+  /// OR = max(children), AND = mean(children), atleast(k) = mean of the
+  /// k largest children. Monotone in the failed set, so crossings are
+  /// well-defined level entries.
+  double importance(const trajectory_state& s) const;
+
+  /// Longest leaf-to-top path length (edges) in the structure — the
+  /// natural scale for the number of splitting levels.
+  std::size_t depth() const;
+
+  /// True iff the tree has at least one dynamic event (otherwise all
+  /// randomness is at time 0 and advance() returns immediately).
+  bool has_dynamics() const { return has_dynamics_; }
+
+  const sd_fault_tree& tree() const { return tree_; }
+
+ private:
+  /// Per-component view: the chain and the trigger wiring (null chain for
+  /// static events).
+  struct component {
+    const ctmc* chain = nullptr;
+    node_index event = 0;
+    node_index trigger_gate = fault_tree::npos;
+    const std::vector<char>* on_state = nullptr;
+    const std::vector<state_index>* to_on = nullptr;
+    const std::vector<state_index>* to_off = nullptr;
+  };
+
+  /// Applies trigger updates until stable; returns whether the top gate is
+  /// failed in the settled state.
+  bool settle(trajectory_state& s) const;
+
+  const sd_fault_tree& tree_;
+  std::size_t max_update_sweeps_;
+  std::vector<component> components_;
+  std::vector<node_index> topo_;  // cached topological order
+  bool has_dynamics_ = false;
+};
+
+}  // namespace sdft::sim

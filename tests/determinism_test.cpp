@@ -139,6 +139,45 @@ TEST(Determinism, IndustrialAnnotatedModel) {
   expect_deterministic(tree, 24.0, 1e-20, "industrial");
 }
 
+TEST(Determinism, McBackendThreadInvariant) {
+  // The mc backend dimension of the matrix: estimates must be
+  // bit-identical for every thread count and batch size at a fixed seed,
+  // for every estimator family. Streams are keyed by global trajectory
+  // index (or replication/stage/slot) and batch partials reduce in index
+  // order, so the schedule can never leak into the result.
+  bwr_options opt;
+  opt.dynamic_events = true;
+  opt.repair_rate = 0.1;
+  const sd_fault_tree tree = make_bwr_model(with_bwr_triggers(opt, 2));
+  for (sim::mc_method method :
+       {sim::mc_method::crude, sim::mc_method::forcing,
+        sim::mc_method::splitting}) {
+    analysis_options opts;
+    opts.horizon = 24.0;
+    opts.backend = cutset_backend::mc;
+    opts.mc.method = method;
+    opts.mc.trajectories = 20'000;
+    opts.mc.seed = 31;
+    opts.threads = 1;
+    const analysis_result reference = analyze(tree, opts);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      opts.threads = threads;
+      const analysis_result r = analyze(tree, opts);
+      EXPECT_EQ(r.failure_probability, reference.failure_probability)
+          << to_string(method) << " threads=" << threads;
+      EXPECT_EQ(r.mc.std_error, reference.mc.std_error)
+          << to_string(method) << " threads=" << threads;
+      EXPECT_EQ(r.mc.failures, reference.mc.failures)
+          << to_string(method) << " threads=" << threads;
+    }
+    opts.threads = 8;
+    opts.mc.batch = 512;
+    const analysis_result rebatched = analyze(tree, opts);
+    EXPECT_EQ(rebatched.failure_probability, reference.failure_probability)
+        << to_string(method) << " batch=512";
+  }
+}
+
 TEST(Determinism, RawMocusParallelMatchesSerial) {
   // Below the engine: the raw MOCUS driver itself must emit the identical
   // result structure for the serial and the work-stealing parallel path.

@@ -112,6 +112,63 @@ TEST(Serve, AnalyzePerRequestOptions) {
             direct.exact_static_probability);
 }
 
+TEST(Serve, AnalyzeMcBackendReturnsConfidenceInterval) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+  const json::value r = handle(
+      service,
+      R"({"op":"analyze","model":"m","backend":"mc",
+          "mc":{"method":"forcing","trajectories":20000,"seed":3}})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+
+  analysis_options opts;
+  opts.horizon = 24.0;
+  opts.backend = cutset_backend::mc;
+  opts.inline_execution = true;
+  opts.mc.method = sim::mc_method::forcing;
+  opts.mc.trajectories = 20'000;
+  opts.mc.seed = 3;
+  const analysis_result direct = analyze(example3_sd(), opts);
+  EXPECT_EQ(r.at("probability").as_number(), direct.failure_probability);
+  EXPECT_EQ(r.at("mc_method").as_string(), "forcing");
+  EXPECT_EQ(r.at("ci_low").as_number(), direct.mc.ci_low);
+  EXPECT_EQ(r.at("ci_high").as_number(), direct.mc.ci_high);
+  EXPECT_EQ(r.at("trajectories").as_number(), 20'000.0);
+  EXPECT_GT(r.at("failures").as_number(), 0.0);
+  EXPECT_FALSE(r.contains("cutsets"));
+
+  // Unknown backends and methods are taxonomy errors, not crashes.
+  EXPECT_FALSE(handle(service,
+                      R"({"op":"analyze","model":"m","backend":"qmc"})")
+                   .at("ok")
+                   .as_bool());
+  EXPECT_FALSE(
+      handle(service,
+             R"({"op":"analyze","model":"m","backend":"mc",
+                 "mc":{"method":"metropolis"}})")
+          .at("ok")
+          .as_bool());
+}
+
+TEST(Serve, SweepMcBackendReturnsPerPointIntervals) {
+  serve::analysis_service service = make_service();
+  service.load_text("m", example_text());
+  const json::value r = handle(
+      service,
+      R"({"op":"sweep","model":"m","backend":"mc",
+          "mc":{"method":"forcing","trajectories":5000,"seed":2},
+          "params":[{"name":"a","lo":0.001,"hi":0.01,"n":3,"scale":"log"}]})");
+  ASSERT_TRUE(r.at("ok").as_bool());
+  const json::array& points = r.at("points").as_array();
+  ASSERT_EQ(points.size(), 3u);
+  for (const json::value& p : points) {
+    EXPECT_LE(p.at("ci_low").as_number(), p.at("probability").as_number());
+    EXPECT_GE(p.at("ci_high").as_number(), p.at("probability").as_number());
+    EXPECT_EQ(p.at("trajectories").as_number(), 5000.0);
+    EXPECT_FALSE(p.contains("cutsets"));
+  }
+}
+
 TEST(Serve, SweepRequestMatchesDirectRuns) {
   serve::analysis_service service = make_service();
   service.load_text("m", example_text());

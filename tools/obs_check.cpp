@@ -6,6 +6,7 @@
 //   obs_check trace <trace.json>          validate a --trace-json file
 //   obs_check metrics <metrics.json>      validate a --metrics-json file
 //   obs_check bench-serve <BENCH.json>    validate a bench_serve artifact
+//   obs_check bench-mc <BENCH_mc.json>    validate a bench_mc artifact
 //
 // Trace checks: well-formed JSON, a traceEvents array whose "X" events have
 // non-negative ts/dur, unique span ids, parent ids that resolve (or 0), and
@@ -15,6 +16,9 @@
 // Bench-serve checks: the ISSUE acceptance thresholds — the batched sweep
 // bit-identical to its one-shots and at least 5x faster, with every point a
 // structure-cache hit.
+// Bench-mc checks: crude MC empty at the shared budget while forcing and
+// splitting both bracket the exact-static answer with a >= 10x relative
+// error improvement over crude.
 //
 // Exit code 0 when valid; 1 with a message on stderr otherwise.
 
@@ -120,6 +124,11 @@ int check_metrics(const std::string& path) {
       "mocus.steals",             "mocus.occupancy",
       "quant.tasks",              "quant.steals",
       "pool.occupancy",
+      "mc.seconds",               "mc.trajectories",
+      "mc.failures",              "mc.levels",
+      "mc.replications",          "mc.estimate",
+      "mc.std_error",             "mc.ci_half_width",
+      "mc.relative_error",
   };
   for (const char* key : required) {
     check(doc.contains(key), std::string("missing metric '") + key + "'");
@@ -151,11 +160,83 @@ int check_bench_serve(const std::string& path) {
   return 0;
 }
 
+int check_bench_mc(const std::string& path) {
+  const value doc = sdft::json::parse(slurp(path));
+  check(doc.at("budget").as_number() >= 1.0, "missing trajectory budget");
+
+  // Two rare-event cases: forcing on a static industrial variant
+  // (reference: exact-static BDD) and splitting on a dynamic redundant
+  // group (reference: product CTMC). Splitting is structurally inert on
+  // purely static models — the importance function cannot rise without
+  // dynamics — which is why each variance-reduction method gets its own
+  // demonstration model.
+  const value& cases = doc.at("cases");
+  check(cases.as_array().size() >= 2, "expected at least two bench cases");
+  bool saw_forcing = false;
+  bool saw_splitting = false;
+  for (const value& c : cases.as_array()) {
+    const std::string name = c.at("name").as_string();
+    const double exact = c.at("exact").as_number();
+    check(exact > 0.0,
+          name + ": exact reference probability is not positive");
+    check(c.at("budget").as_number() >= 1.0, name + ": missing budget");
+
+    // Crude MC at the shared budget must demonstrate the rare-event
+    // problem: zero observed failures, i.e. an empty confidence interval.
+    check(c.at("crude").at("empty").as_bool(),
+          name + ": crude MC observed failures at this budget; the model "
+                 "is not a rare-event demonstration");
+
+    // The variance-reduction method must bracket the exact answer.
+    const value& rare = c.at("rare");
+    const std::string method = rare.at("method").as_string();
+    saw_forcing = saw_forcing || method == "forcing";
+    saw_splitting = saw_splitting || method == "splitting";
+    const double lo = rare.at("ci_low").as_number();
+    const double hi = rare.at("ci_high").as_number();
+    check(lo <= exact && exact <= hi,
+          name + ": " + method + " CI [" + std::to_string(lo) + ", " +
+              std::to_string(hi) + "] does not bracket exact " +
+              std::to_string(exact));
+    const double rel = rare.at("relative_error").as_number();
+    check(rel > 0.0, name + ": relative error is not positive");
+
+    // The acceptance threshold: >= 10x lower relative error than crude MC
+    // at the same trajectory budget. With zero crude hits the bench scores
+    // crude by its rule-of-three upper bound, so the ratio stays finite.
+    const double improvement = c.at("improvement").as_number();
+    check(improvement >= 10.0,
+          name + ": improvement " + std::to_string(improvement) +
+              "x is below the 10x acceptance threshold");
+    std::printf("bench-mc case %s: exact %.3g bracketed by %s, rel err "
+                "%.3g, %.0fx better than crude\n",
+                name.c_str(), exact, method.c_str(), rel, improvement);
+  }
+  check(saw_forcing, "no case demonstrates failure forcing");
+  check(saw_splitting, "no case demonstrates importance splitting");
+
+  // Relative-error-vs-time curve entries must be well-formed.
+  const value& curve = doc.at("curve");
+  check(!curve.as_array().empty(), "missing relative-error-vs-time curve");
+  for (const value& p : curve.as_array()) {
+    p.at("case").as_string();
+    check(p.at("trajectories").as_number() >= 1.0,
+          "curve point without trajectories");
+    check(p.at("seconds").as_number() >= 0.0, "curve point without timing");
+    p.at("relative_error").as_number();
+  }
+  std::printf("bench-mc ok: %zu cases, %zu curve points\n",
+              cases.as_array().size(), curve.as_array().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3) {
-    std::fprintf(stderr, "usage: obs_check <trace|metrics|bench-serve> <file>\n");
+    std::fprintf(
+        stderr,
+        "usage: obs_check <trace|metrics|bench-serve|bench-mc> <file>\n");
     return 2;
   }
   try {
@@ -163,6 +244,7 @@ int main(int argc, char** argv) {
     if (mode == "trace") return check_trace(argv[2]);
     if (mode == "metrics") return check_metrics(argv[2]);
     if (mode == "bench-serve") return check_bench_serve(argv[2]);
+    if (mode == "bench-mc") return check_bench_mc(argv[2]);
     std::fprintf(stderr, "obs_check: unknown mode '%s'\n", mode.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -17,7 +17,10 @@
 // Options: --horizon H (hours, default 24), --cutoff C (default 0),
 //          --threads N, --mode exact|under|over, --top K (rows to print),
 //          --details (per-cutset breakdown),
-//          --backend mocus|bdd (cutset source),
+//          --backend mocus|bdd|mc (cutset source, or Monte-Carlo
+//          estimation; mc reports a confidence interval and composes with
+//          --mc-method crude|forcing|splitting, --mc-trajectories N,
+//          --mc-batch N, --mc-levels N, --mc-replications N, --seed S),
 //          --bdd-ordering dfs|natural|weight|sift (BDD variable order),
 //          --exact-static (exact static FT-bar probability via one BDD),
 //          --no-cache,
@@ -94,6 +97,10 @@ struct cli_options {
   prep_options prep;
   std::size_t runs = 100'000;
   std::uint64_t seed = 1;
+
+  // Monte-Carlo backend (--backend mc) campaign knobs; seed comes from
+  // --seed, everything else from its mc_options default when not given.
+  sim::mc_options mc;
   std::string trace_json;    ///< Chrome trace_event output path (empty: off)
   std::string metrics_json;  ///< metric registry dump path (empty: off)
 
@@ -119,7 +126,10 @@ struct cli_options {
       "<file>\n"
       "            [--horizon H] [--cutoff C] [--threads N]\n"
       "            [--mode exact|under|over] [--top K] [--details]\n"
-      "            [--backend mocus|bdd] [--no-cache] [--stats]\n"
+      "            [--backend mocus|bdd|mc] [--no-cache] [--stats]\n"
+      "            [--mc-method crude|forcing|splitting] "
+      "[--mc-trajectories N]\n"
+      "            [--mc-batch N] [--mc-levels N] [--mc-replications N]\n"
       "            [--bdd-ordering dfs|natural|weight|sift] [--exact-static]\n"
       "            [--no-lumping] [--no-early-termination]\n"
       "            [--no-prep] "
@@ -188,14 +198,17 @@ cli_options parse_args(int argc, char** argv) {
     } else if (arg == "--no-prep-modules") {
       opt.prep.modularize = false;
     } else if (arg == "--backend") {
-      const std::string backend = next();
-      if (backend == "mocus") {
-        opt.backend = cutset_backend::mocus;
-      } else if (backend == "bdd") {
-        opt.backend = cutset_backend::bdd;
-      } else {
-        usage();
-      }
+      if (!parse_cutset_backend(next(), opt.backend)) usage();
+    } else if (arg == "--mc-method") {
+      if (!sim::parse_mc_method(next(), opt.mc.method)) usage();
+    } else if (arg == "--mc-trajectories") {
+      opt.mc.trajectories = std::stoul(next());
+    } else if (arg == "--mc-batch") {
+      opt.mc.batch = std::stoul(next());
+    } else if (arg == "--mc-levels") {
+      opt.mc.levels = std::stoul(next());
+    } else if (arg == "--mc-replications") {
+      opt.mc.replications = std::stoul(next());
     } else if (arg == "--bdd-ordering") {
       const auto ordering = parse_bdd_ordering(next());
       if (!ordering) usage();
@@ -366,6 +379,32 @@ int cmd_mcs(const cli_options& opt) {
 void print_engine_stats(const engine_stats& s) {
   text_table table({"stage / counter", "value"});
   table.add_row({"backend", s.backend});
+  if (s.backend == "mc") {
+    table.add_row({"mc method", s.mc_method});
+    table.add_row({"mc trajectories", std::to_string(s.mc_trajectories)});
+    table.add_row({"mc failures", std::to_string(s.mc_failures)});
+    if (s.mc_levels > 0) {
+      table.add_row({"mc levels x replications",
+                     std::to_string(s.mc_levels) + " x " +
+                         std::to_string(s.mc_replications)});
+    }
+    table.add_row({"mc estimate", sci(s.mc_estimate)});
+    table.add_row({"mc std error", sci(s.mc_std_error)});
+    table.add_row({"mc CI half-width", sci(s.mc_ci_half_width)});
+    char rel[32];
+    std::snprintf(rel, sizeof rel, "%.3g", s.mc_relative_error);
+    table.add_row({"mc relative error", rel});
+    table.add_row({"mc campaign", duration_str(s.mc_seconds)});
+    table.add_row({"translate", duration_str(s.translate_seconds)});
+    table.add_row({"prep", duration_str(s.prep_seconds)});
+    if (s.exact_static_seconds > 0) {
+      table.add_row({"exact static", duration_str(s.exact_static_seconds)});
+    }
+    table.add_row({"total", duration_str(s.total_seconds)});
+    table.add_row({"pool threads", std::to_string(s.pool_threads)});
+    std::printf("%s", table.str().c_str());
+    return;
+  }
   table.add_row({"translate", duration_str(s.translate_seconds)});
   table.add_row({"prep", duration_str(s.prep_seconds)});
   table.add_row({"generate cutsets", duration_str(s.generate_seconds)});
@@ -453,6 +492,8 @@ analysis_options make_analysis_options(const cli_options& opt) {
   aopts.use_structure_cache = opt.struct_cache;
   aopts.structure_cache_entries = opt.struct_cache_entries;
   aopts.quant_cache_entries = opt.quant_cache_entries;
+  aopts.mc = opt.mc;
+  aopts.mc.seed = opt.seed;
   return aopts;
 }
 
@@ -460,19 +501,38 @@ int cmd_analyze(const cli_options& opt) {
   const sd_fault_tree tree = load(opt.file);
   analysis_engine engine(make_analysis_options(opt));
   const analysis_result result = engine.run(tree);
-  std::printf("failure probability (p_rea): %s  [horizon %gh]\n",
-              sci(result.failure_probability).c_str(), opt.horizon);
-  std::printf("cutsets: %zu (%zu dynamic), mean dyn events %.2f (%.2f added)\n",
-              result.num_cutsets, result.num_dynamic_cutsets,
-              result.mean_dynamic_events, result.mean_added_dynamic_events);
+  if (opt.backend == cutset_backend::mc) {
+    const sim::mc_result& mc = result.mc;
+    std::printf("failure probability (MC %s): %s  [horizon %gh]\n",
+                sim::to_string(mc.method).c_str(), sci(mc.estimate).c_str(),
+                opt.horizon);
+    std::printf("95%% CI: [%s, %s]  half-width %s, relative error %.3g\n",
+                sci(mc.ci_low).c_str(), sci(mc.ci_high).c_str(),
+                sci(mc.ci_half_width).c_str(), mc.relative_error);
+    std::printf("trajectories: %zu (%zu hits%s)\n", mc.trajectories,
+                mc.failures, mc.empty() ? ", empty CI" : "");
+    if (mc.levels_used > 0) {
+      std::printf("splitting: %zu levels x %zu replications\n",
+                  mc.levels_used, mc.replications);
+    }
+  } else {
+    std::printf("failure probability (p_rea): %s  [horizon %gh]\n",
+                sci(result.failure_probability).c_str(), opt.horizon);
+    std::printf(
+        "cutsets: %zu (%zu dynamic), mean dyn events %.2f (%.2f added)\n",
+        result.num_cutsets, result.num_dynamic_cutsets,
+        result.mean_dynamic_events, result.mean_added_dynamic_events);
+  }
   if (opt.exact_static) {
     std::printf("exact static probability (BDD, ordering %s): %s\n",
                 to_string(opt.bdd_ordering),
                 sci(result.exact_static_probability).c_str());
   }
-  std::printf("times: translate %.2fs, MCS %.2fs, quantify %.2fs\n",
-              result.translate_seconds, result.mcs_seconds,
-              result.quantify_seconds);
+  if (opt.backend != cutset_backend::mc) {
+    std::printf("times: translate %.2fs, MCS %.2fs, quantify %.2fs\n",
+                result.translate_seconds, result.mcs_seconds,
+                result.quantify_seconds);
+  }
   if (opt.stats) print_engine_stats(result.stats);
   if (opt.details) {
     auto sorted = result.cutsets;
@@ -636,12 +696,25 @@ int cmd_sweep(const cli_options& opt) {
   analysis_engine engine(make_analysis_options(opt));
   const sweep_result result = run_sweep(engine, tree, spec);
 
-  text_table table({"p (p_rea)", "point"});
-  for (std::size_t i = 0; i < result.points.size() && i < opt.top; ++i) {
-    table.add_row({sci(result.points[i].failure_probability),
-                   spec.points[i].label});
+  if (opt.backend == cutset_backend::mc) {
+    // MC sweeps carry a per-point confidence interval, not a point value.
+    text_table table({"estimate", "ci_low", "ci_high", "rel_err", "point"});
+    for (std::size_t i = 0; i < result.points.size() && i < opt.top; ++i) {
+      const sim::mc_result& mc = result.points[i].mc;
+      char rel[32];
+      std::snprintf(rel, sizeof rel, "%.3g", mc.relative_error);
+      table.add_row({sci(mc.estimate), sci(mc.ci_low), sci(mc.ci_high), rel,
+                     spec.points[i].label});
+    }
+    std::printf("%s", table.str().c_str());
+  } else {
+    text_table table({"p (p_rea)", "point"});
+    for (std::size_t i = 0; i < result.points.size() && i < opt.top; ++i) {
+      table.add_row({sci(result.points[i].failure_probability),
+                     spec.points[i].label});
+    }
+    std::printf("%s", table.str().c_str());
   }
-  std::printf("%s", table.str().c_str());
   if (result.points.size() > opt.top) {
     std::printf("... %zu more points (--top to widen)\n",
                 result.points.size() - opt.top);
