@@ -114,7 +114,8 @@ bdd_ref bdd_manager::restrict_var(bdd_ref f, std::uint32_t var, bool value) {
   return rec(f);
 }
 
-double bdd_manager::probability(bdd_ref f, const std::vector<double>& probs) {
+double bdd_manager::probability(bdd_ref f,
+                                const std::vector<double>& probs) const {
   std::unordered_map<bdd_ref, double> memo;
   const std::function<double(bdd_ref)> rec = [&](bdd_ref g) -> double {
     if (g == zero()) return 0.0;

@@ -38,8 +38,11 @@ class bdd_manager {
   bdd_ref restrict_var(bdd_ref f, std::uint32_t var, bool value);
 
   /// Probability that f evaluates to true when variable v is independently
-  /// true with probability probs[v]. Exact (Shannon decomposition).
-  double probability(bdd_ref f, const std::vector<double>& probs);
+  /// true with probability probs[v]. Exact (Shannon decomposition). Const:
+  /// uses only a call-local memo, so concurrent evaluations of an already
+  /// compiled diagram are safe (the scenario engine batches per-sequence
+  /// evaluations on the pool this way).
+  double probability(bdd_ref f, const std::vector<double>& probs) const;
 
   /// Rauzy's minimal-solutions operator for a coherent f: the result
   /// encodes exactly the minimal satisfying products of f.

@@ -116,6 +116,32 @@ struct engine_stats {
   double mc_ci_half_width = 0;      ///< 95% CI half-width
   double mc_relative_error = 0;     ///< half-width / estimate (0 if empty)
 
+  // Scenario-engine counters (engine/scenario: one-pass event-tree
+  // quantification). Zero on plain top-event analyses; the scenario engine
+  // additionally accumulates the per-gate cutset runs' counters above, so
+  // one vocabulary covers both kinds of run.
+  double scenario_compile_seconds = 0;   ///< CCF expansion + multi-root BDD
+  double scenario_quantify_seconds = 0;  ///< batched per-sequence evaluation
+  double scenario_cutset_seconds = 0;    ///< per-gate MCS + recombination
+  double scenario_total_seconds = 0;
+  std::size_t scenario_sequences = 0;
+  std::size_t scenario_end_states = 0;
+  std::size_t scenario_functional_events = 0;
+  std::size_t scenario_bdd_nodes = 0;       ///< shared multi-root manager
+  std::size_t scenario_gates_compiled = 0;  ///< distinct gates compiled once
+  std::size_t scenario_prefix_hits = 0;     ///< sequence prefix products reused
+  std::size_t scenario_sequence_cutsets = 0;  ///< recombined MCSs, all sequences
+
+  // Common-cause expansion counters (ft/ccf, run before prep).
+  std::size_t ccf_groups = 0;
+  std::size_t ccf_events_added = 0;       ///< explicit CCF basic events
+  std::size_t ccf_members_expanded = 0;   ///< members replaced by OR gates
+
+  // Parameter-uncertainty propagation counters (scenario engine UQ layer).
+  double uq_seconds = 0;
+  std::size_t uq_samples = 0;
+  std::size_t uq_parameters = 0;  ///< distributions (re-drawn events)
+
   /// Field-wise accumulation for batched runs (the sweep aggregate):
   /// seconds and event counts sum, occupancies keep the maximum, entry
   /// gauges and labels keep the latest snapshot.
@@ -172,6 +198,23 @@ struct engine_stats {
     quantify_tasks += o.quantify_tasks;
     quantify_steals += o.quantify_steals;
     quantify_occupancy = std::max(quantify_occupancy, o.quantify_occupancy);
+    scenario_compile_seconds += o.scenario_compile_seconds;
+    scenario_quantify_seconds += o.scenario_quantify_seconds;
+    scenario_cutset_seconds += o.scenario_cutset_seconds;
+    scenario_total_seconds += o.scenario_total_seconds;
+    scenario_sequences += o.scenario_sequences;
+    scenario_end_states += o.scenario_end_states;
+    scenario_functional_events += o.scenario_functional_events;
+    scenario_bdd_nodes += o.scenario_bdd_nodes;
+    scenario_gates_compiled += o.scenario_gates_compiled;
+    scenario_prefix_hits += o.scenario_prefix_hits;
+    scenario_sequence_cutsets += o.scenario_sequence_cutsets;
+    ccf_groups += o.ccf_groups;
+    ccf_events_added += o.ccf_events_added;
+    ccf_members_expanded += o.ccf_members_expanded;
+    uq_seconds += o.uq_seconds;
+    uq_samples += o.uq_samples;
+    uq_parameters += o.uq_parameters;
     mc_method = o.mc_method;
     mc_seconds += o.mc_seconds;
     mc_trajectories += o.mc_trajectories;
@@ -252,6 +295,23 @@ struct engine_stats {
         {"quant.tasks", n(quantify_tasks)},
         {"quant.steals", n(quantify_steals)},
         {"pool.occupancy", quantify_occupancy},
+        {"scenario.compile_seconds", scenario_compile_seconds},
+        {"scenario.quantify_seconds", scenario_quantify_seconds},
+        {"scenario.cutset_seconds", scenario_cutset_seconds},
+        {"scenario.total_seconds", scenario_total_seconds},
+        {"scenario.sequences", n(scenario_sequences)},
+        {"scenario.end_states", n(scenario_end_states)},
+        {"scenario.functional_events", n(scenario_functional_events)},
+        {"scenario.bdd_nodes", n(scenario_bdd_nodes)},
+        {"scenario.gates_compiled", n(scenario_gates_compiled)},
+        {"scenario.prefix_hits", n(scenario_prefix_hits)},
+        {"scenario.sequence_cutsets", n(scenario_sequence_cutsets)},
+        {"ccf.groups", n(ccf_groups)},
+        {"ccf.events_added", n(ccf_events_added)},
+        {"ccf.members_expanded", n(ccf_members_expanded)},
+        {"uq.seconds", uq_seconds},
+        {"uq.samples", n(uq_samples)},
+        {"uq.parameters", n(uq_parameters)},
         {"mc.seconds", mc_seconds},
         {"mc.trajectories", n(mc_trajectories)},
         {"mc.failures", n(mc_failures)},

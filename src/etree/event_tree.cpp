@@ -42,66 +42,51 @@ void event_tree::validate() const {
   }
 }
 
-namespace {
-
-/// Multi-root BDD compilation of the fault tree nodes an event tree
-/// references, sharing one variable order and one manager.
-class et_bdd {
- public:
-  explicit et_bdd(const event_tree& et) : et_(et) {
-    assign_vars(et_.initiating_event());
-    for (std::size_t i = 0; i < et_.num_functional_events(); ++i) {
-      assign_vars(et_.functional_gate(i));
-    }
-  }
-
-  /// BDD of one sequence: IE and each functional outcome.
-  bdd_ref sequence(std::size_t s) {
-    bdd_ref f = compile(et_.initiating_event());
-    const auto& outcomes = et_.sequence_outcomes(s);
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      if (outcomes[i] == branch_outcome::bypass) continue;
-      const bdd_ref gate = compile(et_.functional_gate(i));
-      f = manager_.bdd_and(f, outcomes[i] == branch_outcome::failure
-                                  ? gate
-                                  : manager_.bdd_not(gate));
-    }
-    return f;
-  }
-
-  bdd_ref bdd_or(bdd_ref a, bdd_ref b) { return manager_.bdd_or(a, b); }
-  bdd_ref zero() { return manager_.zero(); }
-
-  double probability(bdd_ref f) {
-    std::vector<double> probs(var_to_event_.size());
-    for (std::size_t v = 0; v < var_to_event_.size(); ++v) {
-      probs[v] = et_.ft().node(var_to_event_[v]).probability;
-    }
-    return manager_.probability(f, probs);
-  }
-
- private:
-  void assign_vars(node_index root) {
-    const std::function<void(node_index)> visit = [&](node_index n) {
-      if (et_.ft().is_basic(n)) {
-        if (event_to_var_.emplace(n, var_to_event_.size()).second) {
-          var_to_event_.push_back(n);
-        }
-        return;
-      }
-      for (node_index child : et_.ft().node(n).inputs) visit(child);
-    };
-    visit(root);
-  }
-
-  bdd_ref compile(node_index n) {
-    auto it = memo_.find(n);
-    if (it != memo_.end()) return it->second;
-    bdd_ref ref;
+event_tree_bdd::event_tree_bdd(const event_tree& et) : et_(et) {
+  // Variable order: basic-event discovery order over a DFS of the IE and
+  // then each functional gate — a pure function of the event tree, so
+  // every compilation of the same tree agrees variable for variable.
+  const std::function<void(node_index)> visit = [&](node_index n) {
     if (et_.ft().is_basic(n)) {
-      ref = manager_.var(event_to_var_.at(n));
+      if (event_to_var_.emplace(n, var_to_event_.size()).second) {
+        var_to_event_.push_back(n);
+      }
+      return;
+    }
+    for (node_index child : et_.ft().node(n).inputs) visit(child);
+  };
+  visit(et_.initiating_event());
+  for (std::size_t i = 0; i < et_.num_functional_events(); ++i) {
+    visit(et_.functional_gate(i));
+  }
+}
+
+bdd_ref event_tree_bdd::compile(node_index n) {
+  auto it = memo_.find(n);
+  if (it != memo_.end()) return it->second;
+  bdd_ref ref;
+  if (et_.ft().is_basic(n)) {
+    ref = manager_.var(event_to_var_.at(n));
+  } else {
+    const auto& gate = et_.ft().node(n);
+    ++gates_compiled_;
+    if (gate.type == gate_type::atleast_gate) {
+      // Threshold DP over the inputs, exactly as bdd/ft_bdd.cpp lowers
+      // voting gates: at_least[j] after i children is "at least j of the
+      // first i are failed". Polynomial in k * N, no C(N, k) expansion.
+      // (Treating the gate as an OR here used to corrupt every exact
+      // sequence probability under a k-of-n functional event.)
+      std::vector<bdd_ref> at_least(gate.k + 1, manager_.zero());
+      at_least[0] = manager_.one();
+      for (node_index child : gate.inputs) {
+        const bdd_ref c = compile(child);
+        for (std::uint32_t j = gate.k; j >= 1; --j) {
+          at_least[j] = manager_.bdd_or(
+              at_least[j], manager_.bdd_and(c, at_least[j - 1]));
+        }
+      }
+      ref = at_least[gate.k];
     } else {
-      const auto& gate = et_.ft().node(n);
       const bool is_and = gate.type == gate_type::and_gate;
       ref = is_and ? manager_.one() : manager_.zero();
       for (node_index child : gate.inputs) {
@@ -109,35 +94,82 @@ class et_bdd {
         ref = is_and ? manager_.bdd_and(ref, c) : manager_.bdd_or(ref, c);
       }
     }
-    memo_.emplace(n, ref);
-    return ref;
   }
+  memo_.emplace(n, ref);
+  return ref;
+}
 
-  const event_tree& et_;
-  bdd_manager manager_;
-  std::vector<node_index> var_to_event_;
-  std::unordered_map<node_index, std::uint32_t> event_to_var_;
-  std::unordered_map<node_index, bdd_ref> memo_;
-};
+bdd_ref event_tree_bdd::sequence(std::size_t s) {
+  require_model(s < et_.num_sequences(), "event_tree: sequence out of range");
+  bdd_ref f = compile(et_.initiating_event());
+  const auto& outcomes = et_.sequence_outcomes(s);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i] == branch_outcome::bypass) continue;
+    // Prefix-product cache: sequences sharing (partial product, demanded
+    // event, outcome) reuse the product instead of re-running the BDD
+    // apply. Key packs (ref, event index, outcome) into 64 bits.
+    const std::uint64_t key = static_cast<std::uint64_t>(f) |
+                              (static_cast<std::uint64_t>(i) << 32) |
+                              (static_cast<std::uint64_t>(outcomes[i]) << 56);
+    auto it = prefix_.find(key);
+    if (it != prefix_.end()) {
+      ++prefix_hits_;
+      f = it->second;
+      continue;
+    }
+    const bdd_ref gate = compile(et_.functional_gate(i));
+    const bdd_ref next =
+        manager_.bdd_and(f, outcomes[i] == branch_outcome::failure
+                                ? gate
+                                : manager_.bdd_not(gate));
+    prefix_.emplace(key, next);
+    f = next;
+  }
+  return f;
+}
 
-}  // namespace
+bdd_ref event_tree_bdd::end_state(const std::string& end_state) {
+  bdd_ref any = manager_.zero();
+  for (std::size_t s = 0; s < et_.num_sequences(); ++s) {
+    if (et_.end_state(s) == end_state) {
+      any = manager_.bdd_or(any, sequence(s));
+    }
+  }
+  return any;
+}
+
+double event_tree_bdd::probability(bdd_ref f) const {
+  std::vector<double> probs(var_to_event_.size());
+  for (std::size_t v = 0; v < var_to_event_.size(); ++v) {
+    probs[v] = et_.ft().node(var_to_event_[v]).probability;
+  }
+  return manager_.probability(f, probs);
+}
+
+double event_tree_bdd::probability(
+    bdd_ref f, const std::vector<double>& node_probs) const {
+  std::vector<double> probs(var_to_event_.size());
+  for (std::size_t v = 0; v < var_to_event_.size(); ++v) {
+    const node_index n = var_to_event_[v];
+    require_model(n < node_probs.size(),
+                  "event_tree: probability vector does not cover the tree");
+    probs[v] = node_probs[n];
+  }
+  return manager_.probability(f, probs);
+}
 
 double sequence_probability_exact(const event_tree& et, std::size_t s) {
+  et.validate();
   require_model(s < et.num_sequences(), "event_tree: sequence out of range");
-  et_bdd compiled(et);
+  event_tree_bdd compiled(et);
   return compiled.probability(compiled.sequence(s));
 }
 
 double end_state_probability_exact(const event_tree& et,
                                    const std::string& end_state) {
-  et_bdd compiled(et);
-  bdd_ref any = compiled.zero();
-  for (std::size_t s = 0; s < et.num_sequences(); ++s) {
-    if (et.end_state(s) == end_state) {
-      any = compiled.bdd_or(any, compiled.sequence(s));
-    }
-  }
-  return compiled.probability(any);
+  et.validate();
+  event_tree_bdd compiled(et);
+  return compiled.probability(compiled.end_state(end_state));
 }
 
 fault_tree end_state_fault_tree(const event_tree& et,
@@ -157,13 +189,24 @@ fault_tree end_state_fault_tree(const event_tree& et,
       std::vector<node_index> inputs;
       inputs.reserve(node.inputs.size());
       for (node_index child : node.inputs) inputs.push_back(copy(child));
-      mapped = out.add_gate(node.name, node.type, inputs);
+      mapped = node.type == gate_type::atleast_gate
+                   ? out.add_atleast_gate(node.name, node.k, std::move(inputs))
+                   : out.add_gate(node.name, node.type, std::move(inputs));
     }
     copied.emplace(n, mapped);
     return mapped;
   };
 
-  std::vector<node_index> sequence_gates;
+  // Copy every referenced subtree first, then synthesize the sequence and
+  // top gates: the synthesized names are deduplicated against everything
+  // already in `out`, so a model that happens to contain a node named
+  // "<et>::SEQ0" (or the end state itself) cannot collide — in either
+  // direction — with the gates we make up here.
+  struct sequence_plan {
+    std::size_t s;
+    std::vector<node_index> inputs;
+  };
+  std::vector<sequence_plan> plans;
   for (std::size_t s = 0; s < et.num_sequences(); ++s) {
     if (et.end_state(s) != end_state) continue;
     std::vector<node_index> inputs{copy(et.initiating_event())};
@@ -175,14 +218,27 @@ fault_tree end_state_fault_tree(const event_tree& et,
         inputs.push_back(copy(et.functional_gate(i)));
       }
     }
-    sequence_gates.push_back(out.add_gate(
-        et.name() + "::SEQ" + std::to_string(s), gate_type::and_gate,
-        inputs));
+    plans.push_back({s, std::move(inputs)});
   }
-  require_model(!sequence_gates.empty(),
+  require_model(!plans.empty(),
                 "event_tree: no sequence has end state '" + end_state + "'");
-  out.set_top(out.add_gate(et.name() + "::" + end_state, gate_type::or_gate,
-                           sequence_gates));
+
+  const auto unique_name = [&out](std::string base) {
+    if (out.find(base) == fault_tree::npos) return base;
+    for (int suffix = 2;; ++suffix) {
+      std::string candidate = base + "#" + std::to_string(suffix);
+      if (out.find(candidate) == fault_tree::npos) return candidate;
+    }
+  };
+  std::vector<node_index> sequence_gates;
+  sequence_gates.reserve(plans.size());
+  for (auto& plan : plans) {
+    sequence_gates.push_back(out.add_gate(
+        unique_name(et.name() + "::SEQ" + std::to_string(plan.s)),
+        gate_type::and_gate, std::move(plan.inputs)));
+  }
+  out.set_top(out.add_gate(unique_name(et.name() + "::" + end_state),
+                           gate_type::or_gate, sequence_gates));
   out.validate();
   return out;
 }

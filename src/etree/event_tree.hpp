@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "ft/fault_tree.hpp"
 #include "sdft/sd_fault_tree.hpp"
 
@@ -82,14 +83,64 @@ class event_tree {
   std::vector<sequence> sequences_;
 };
 
+/// Multi-root BDD compilation of every fault-tree node an event tree
+/// references: one manager, one variable order (discovery order over the
+/// IE then the functional gates — deterministic), one memo shared by all
+/// gates. Sequence BDDs are built as prefix products (IE ∧ outcome_0 ∧ …)
+/// and memoised per (partial product, functional event, outcome), so
+/// sequences differing in one late branch reuse the common prefix. BDD
+/// operations are canonical, so a probability read off a shared
+/// compilation is bit-identical to a one-shot compilation of the same
+/// sequence — the contract the scenario engine's one-pass mode relies on.
+///
+/// Compilation (sequence()/end_state()) mutates the manager and is not
+/// thread-safe; probability() is const and safe to call concurrently once
+/// compilation is done.
+class event_tree_bdd {
+ public:
+  explicit event_tree_bdd(const event_tree& et);
+
+  /// BDD of sequence `s`: IE and the outcome of every demanded functional
+  /// event (success branches negated — exact, not rare-event).
+  bdd_ref sequence(std::size_t s);
+
+  /// BDD of the union of all sequences whose end state is `end_state`.
+  bdd_ref end_state(const std::string& end_state);
+
+  /// Probability of `f` under the referenced tree's own probabilities.
+  double probability(bdd_ref f) const;
+
+  /// Probability of `f` with per-node probability overrides indexed by
+  /// node_index of the referenced tree (only basic events reachable from
+  /// the event tree's roots are read).
+  double probability(bdd_ref f, const std::vector<double>& node_probs) const;
+
+  std::size_t num_variables() const { return var_to_event_.size(); }
+  std::size_t nodes() const { return manager_.size(); }
+  std::size_t gates_compiled() const { return gates_compiled_; }
+  std::size_t prefix_hits() const { return prefix_hits_; }
+
+ private:
+  bdd_ref compile(node_index n);
+
+  const event_tree& et_;
+  bdd_manager manager_;
+  std::vector<node_index> var_to_event_;
+  std::unordered_map<node_index, std::uint32_t> event_to_var_;
+  std::unordered_map<node_index, bdd_ref> memo_;
+  std::unordered_map<std::uint64_t, bdd_ref> prefix_;
+  std::size_t gates_compiled_ = 0;
+  std::size_t prefix_hits_ = 0;
+};
+
 /// Exact probability of sequence `s`: P[IE and the outcome of every
 /// functional event], evaluated on a BDD of the underlying fault tree so
 /// success branches (negations) are handled exactly. Exponential only in
-/// BDD size, not in basic events.
+/// BDD size, not in basic events. Validates the event tree.
 double sequence_probability_exact(const event_tree& et, std::size_t s);
 
 /// Exact probability of reaching any sequence whose end state equals
-/// `end_state`.
+/// `end_state`. Validates the event tree.
 double end_state_probability_exact(const event_tree& et,
                                    const std::string& end_state);
 
@@ -98,7 +149,9 @@ double end_state_probability_exact(const event_tree& et,
 /// sequence = AND(IE, failed functional gates). Success branches are
 /// dropped (the standard conservative "delete-term-free" treatment in PSA
 /// tools, valid for rare events). The returned tree owns copies of the
-/// referenced subtrees.
+/// referenced subtrees. Synthesized gate names are deduplicated against
+/// the copied nodes (a pre-existing "<et>::SEQ0" node gets out of the
+/// way, not a duplicate-name error).
 fault_tree end_state_fault_tree(const event_tree& et,
                                 const std::string& end_state);
 

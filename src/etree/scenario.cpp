@@ -1,0 +1,218 @@
+#include "etree/scenario.hpp"
+
+#include <istream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sdft/parser.hpp"
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sdft {
+
+namespace {
+
+constexpr const char* parse_error_prefix = "scenario parse error";
+
+/// Wraps `what` with the parse prefix and `line` — exactly once, like the
+/// SD parser's fail(): inner wrap sites keep the most precise line number.
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  if (what.rfind(parse_error_prefix, 0) == 0) throw model_error(what);
+  throw model_error(std::string(parse_error_prefix) + ", line " +
+                    std::to_string(line) + ": " + what);
+}
+
+double parse_number(const std::string& tok, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) fail(line, "trailing characters in number");
+    return v;
+  } catch (const model_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "cannot parse number '" + tok + "'");
+  }
+}
+
+branch_outcome parse_outcome(const std::string& tok, std::size_t line) {
+  if (tok == "F") return branch_outcome::failure;
+  if (tok == "S") return branch_outcome::success;
+  if (tok == "-") return branch_outcome::bypass;
+  fail(line, "outcome must be F, S or - (got '" + tok + "')");
+}
+
+std::vector<double> parse_alpha_list(const std::string& tok,
+                                     std::size_t line) {
+  std::vector<double> alpha;
+  std::string item;
+  std::istringstream in(tok);
+  while (std::getline(in, item, ',')) {
+    alpha.push_back(parse_number(item, line));
+  }
+  if (alpha.empty()) fail(line, "empty alpha-factor list");
+  return alpha;
+}
+
+}  // namespace
+
+scenario_model parse_scenario(std::istream& in) {
+  // Split the file at the `etree` line: everything before is the SD
+  // fault-tree section (delegated verbatim, so its parse errors keep
+  // their own line numbers — the section is a prefix of the file).
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  std::size_t etree_line = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto tok = tokenize_line(lines[i]);
+    if (!tok.empty() && tok[0] == "etree") {
+      etree_line = i;
+      break;
+    }
+  }
+  if (etree_line == lines.size()) {
+    fail(lines.size(), "missing 'etree <name>' section");
+  }
+
+  std::string ft_text;
+  for (std::size_t i = 0; i < etree_line; ++i) {
+    ft_text += lines[i];
+    ft_text += '\n';
+  }
+
+  scenario_model model;
+  model.tree = parse_sd_fault_tree_string(ft_text);
+  scenario_description& et = model.scenario;
+
+  for (std::size_t i = etree_line; i < lines.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    const auto tok = tokenize_line(lines[i]);
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+
+    if (cmd == "etree") {
+      if (i != etree_line) fail(line_no, "more than one etree section");
+      if (tok.size() != 2) fail(line_no, "usage: etree <name>");
+      et.name = tok[1];
+    } else if (cmd == "initiating") {
+      if (tok.size() != 2) fail(line_no, "usage: initiating <basic-event>");
+      if (!et.initiating_event.empty()) {
+        fail(line_no, "more than one initiating event");
+      }
+      et.initiating_event = tok[1];
+    } else if (cmd == "functional") {
+      if (tok.size() != 3) fail(line_no, "usage: functional <name> <gate>");
+      for (const auto& f : et.functional) {
+        if (f.name == tok[1]) {
+          fail(line_no, "duplicate functional event '" + tok[1] + "'");
+        }
+      }
+      et.functional.push_back({tok[1], tok[2]});
+    } else if (cmd == "sequence") {
+      if (tok.size() < 3) {
+        fail(line_no, "usage: sequence <end-state> <F|S|-> ...");
+      }
+      scenario_description::sequence seq;
+      seq.end_state = tok[1];
+      for (std::size_t t = 2; t < tok.size(); ++t) {
+        seq.outcomes.push_back(parse_outcome(tok[t], line_no));
+      }
+      if (seq.outcomes.size() != et.functional.size()) {
+        fail(line_no, "sequence has " + std::to_string(seq.outcomes.size()) +
+                          " outcomes for " +
+                          std::to_string(et.functional.size()) +
+                          " functional events");
+      }
+      et.sequences.push_back(std::move(seq));
+    } else if (cmd == "ccf-beta") {
+      if (tok.size() < 5) {
+        fail(line_no, "usage: ccf-beta <group> <beta> <member> <member> ...");
+      }
+      ccf_group_description group;
+      group.name = tok[1];
+      group.model = ccf_group::parametric_model::beta_factor;
+      group.beta = parse_number(tok[2], line_no);
+      group.members.assign(tok.begin() + 3, tok.end());
+      et.ccf.push_back(std::move(group));
+    } else if (cmd == "ccf-alpha") {
+      if (tok.size() < 5) {
+        fail(line_no,
+             "usage: ccf-alpha <group> <a1,...,an> <member> ... (n members)");
+      }
+      ccf_group_description group;
+      group.name = tok[1];
+      group.model = ccf_group::parametric_model::alpha_factor;
+      group.alpha = parse_alpha_list(tok[2], line_no);
+      group.members.assign(tok.begin() + 3, tok.end());
+      if (group.alpha.size() != group.members.size()) {
+        fail(line_no, "alpha-factor list has " +
+                          std::to_string(group.alpha.size()) +
+                          " entries for " +
+                          std::to_string(group.members.size()) + " members");
+      }
+      et.ccf.push_back(std::move(group));
+    } else if (cmd == "dist") {
+      if (tok.size() < 3) {
+        fail(line_no, "usage: dist <event> lognormal <EF> | uniform <lo> "
+                      "<hi> | point");
+      }
+      parameter_distribution dist;
+      dist.event = tok[1];
+      const std::string& kind = tok[2];
+      if (kind == "lognormal") {
+        if (tok.size() != 4) {
+          fail(line_no, "usage: dist <event> lognormal <error-factor>");
+        }
+        dist.model = parameter_distribution::kind::lognormal;
+        dist.error_factor = parse_number(tok[3], line_no);
+        if (dist.error_factor < 1.0) {
+          fail(line_no, "lognormal error factor must be >= 1");
+        }
+      } else if (kind == "uniform") {
+        if (tok.size() != 5) {
+          fail(line_no, "usage: dist <event> uniform <lo> <hi>");
+        }
+        dist.model = parameter_distribution::kind::uniform;
+        dist.lo = parse_number(tok[3], line_no);
+        dist.hi = parse_number(tok[4], line_no);
+        if (!(dist.lo <= dist.hi) || dist.lo < 0.0 || dist.hi > 1.0) {
+          fail(line_no, "uniform bounds must satisfy 0 <= lo <= hi <= 1");
+        }
+      } else if (kind == "point") {
+        if (tok.size() != 3) fail(line_no, "usage: dist <event> point");
+        dist.model = parameter_distribution::kind::point;
+      } else {
+        fail(line_no, "unknown distribution '" + kind + "'");
+      }
+      for (const auto& d : et.distributions) {
+        if (d.event == dist.event) {
+          fail(line_no, "duplicate distribution for '" + dist.event + "'");
+        }
+      }
+      et.distributions.push_back(std::move(dist));
+    } else {
+      fail(line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+
+  if (et.initiating_event.empty()) {
+    fail(lines.size(), "etree section has no initiating event");
+  }
+  if (et.functional.empty()) {
+    fail(lines.size(), "etree section has no functional events");
+  }
+  if (et.sequences.empty()) {
+    fail(lines.size(), "etree section has no sequences");
+  }
+  return model;
+}
+
+scenario_model parse_scenario_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+}  // namespace sdft

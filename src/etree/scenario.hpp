@@ -1,0 +1,101 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "etree/event_tree.hpp"
+#include "ft/ccf.hpp"
+#include "sdft/sd_fault_tree.hpp"
+
+namespace sdft {
+
+/// Uncertainty distribution over one basic event's probability, used by
+/// the scenario engine's Monte-Carlo parameter propagation (one draw per
+/// sample, full scenario re-quantification off the cached structure).
+struct parameter_distribution {
+  enum class kind {
+    point,      ///< no uncertainty: the tree's probability as-is
+    lognormal,  ///< median = tree probability, spread by an error factor
+    uniform,    ///< uniform on [lo, hi]
+  };
+
+  std::string event;  ///< basic event of the (pre-CCF) tree
+  kind model = kind::point;
+
+  /// Lognormal error factor, the PSA convention: EF = p95 / median, i.e.
+  /// sigma = ln(EF) / 1.645 (matches core/risk_measures.hpp).
+  double error_factor = 3.0;
+
+  /// Uniform bounds.
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// A CCF group as the user wrote it — member *names*, resolved against a
+/// concrete tree when the scenario is compiled (ccf_group in ft/ccf.hpp is
+/// the index-based form). The split keeps the error taxonomy clean: parse
+/// errors are syntax, resolution errors are model errors.
+struct ccf_group_description {
+  std::string name;
+  ccf_group::parametric_model model = ccf_group::parametric_model::beta_factor;
+  double beta = 0.1;           ///< beta-factor model
+  std::vector<double> alpha;   ///< alpha-factor model (size = member count)
+  std::vector<std::string> members;
+};
+
+/// An event tree as written: the initiating event, functional events and
+/// sequences by name, plus optional CCF groups and parameter
+/// distributions. Compiled against the accompanying fault tree by the
+/// scenario engine (engine/scenario.hpp).
+struct scenario_description {
+  std::string name = "ET";
+  std::string initiating_event;
+
+  struct functional_event {
+    std::string name;  ///< display name of the safety function
+    std::string gate;  ///< fault-tree gate backing it (failure criterion)
+  };
+  std::vector<functional_event> functional;
+
+  struct sequence {
+    std::string end_state;
+    std::vector<branch_outcome> outcomes;  ///< one per functional event
+  };
+  std::vector<sequence> sequences;
+
+  std::vector<ccf_group_description> ccf;
+  std::vector<parameter_distribution> distributions;
+
+  bool empty() const { return functional.empty() && sequences.empty(); }
+};
+
+/// A parsed scenario file: the fault tree plus the event tree over it.
+struct scenario_model {
+  sd_fault_tree tree;
+  scenario_description scenario;
+};
+
+/// Parses the scenario text format: a full SD fault-tree section (see
+/// sdft/parser.hpp) followed by one event-tree section,
+///
+/// ```
+/// etree      <name>
+/// initiating <basic-event>
+/// functional <name> <gate>
+/// sequence   <end-state> <F|S|-> ...    # one outcome per functional event
+/// ccf-beta   <group> <beta> <member> <member> ...
+/// ccf-alpha  <group> <a1,a2,...,an> <member> ... (n members)
+/// dist       <event> lognormal <error-factor>
+/// dist       <event> uniform <lo> <hi>
+/// dist       <event> point
+/// ```
+///
+/// Outcomes: F = the safety function fails, S = it succeeds (negated gate,
+/// exact), - = not demanded. Syntax errors throw model_error with a line
+/// number; name resolution against the tree happens when the scenario
+/// engine compiles the model.
+scenario_model parse_scenario(std::istream& in);
+scenario_model parse_scenario_string(const std::string& text);
+
+}  // namespace sdft

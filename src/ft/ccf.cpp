@@ -55,22 +55,35 @@ void validate_group(const fault_tree& ft, const ccf_group& group) {
   }
 }
 
-/// Per-member replacement plan: the independent probability and the list
-/// of (CCF event name, probability) the member participates in.
+/// One CCF event a member participates in: its name, the coefficient of
+/// the group's common Q, and the original-tree node the trace anchors to.
+struct shared_event {
+  std::string name;
+  double scale;
+  node_index anchor;
+};
+
+/// Per-member replacement plan: the independent part's Q-coefficient and
+/// the shared CCF events the member participates in.
 struct member_plan {
-  double independent;
-  std::vector<std::pair<std::string, double>> shared;  // name, probability
+  double independent_scale;
+  std::vector<shared_event> shared;
 };
 
 }  // namespace
 
 fault_tree expand_ccf(const fault_tree& ft,
                       const std::vector<ccf_group>& groups) {
+  return expand_ccf_traced(ft, groups).tree;
+}
+
+ccf_expansion expand_ccf_traced(const fault_tree& ft,
+                                const std::vector<ccf_group>& groups) {
   std::unordered_map<node_index, member_plan> plans;
   for (const auto& group : groups) {
     validate_group(ft, group);
     const int n = static_cast<int>(group.members.size());
-    const double q = ft.node(group.members.front()).probability;
+    const node_index anchor = group.members.front();
 
     if (group.model == ccf_group::parametric_model::beta_factor) {
       const std::string event = group.name + "_CCF";
@@ -78,25 +91,26 @@ fault_tree expand_ccf(const fault_tree& ft,
         require_model(plans.find(m) == plans.end(),
                       "ccf: event in more than one group");
         member_plan plan;
-        plan.independent = (1.0 - group.beta) * q;
-        plan.shared.emplace_back(event, group.beta * q);
+        plan.independent_scale = 1.0 - group.beta;
+        plan.shared.push_back({event, group.beta, anchor});
         plans.emplace(m, plan);
       }
       continue;
     }
 
-    // Alpha-factor: Q_k = k / C(n-1, k-1) * alpha_k / alpha_t * Q.
+    // Alpha-factor: Q_k = k / C(n-1, k-1) * alpha_k / alpha_t * Q. The
+    // coefficient of Q is what we record, so a re-drawn Q scales exactly.
     double alpha_t = 0.0;
     for (int k = 1; k <= n; ++k) alpha_t += k * group.alpha[k - 1];
-    std::vector<double> q_k(n + 1, 0.0);
+    std::vector<double> scale_k(n + 1, 0.0);
     for (int k = 1; k <= n; ++k) {
-      q_k[k] = static_cast<double>(k) / binomial(n - 1, k - 1) *
-               group.alpha[k - 1] / alpha_t * q;
+      scale_k[k] = static_cast<double>(k) / binomial(n - 1, k - 1) *
+                   group.alpha[k - 1] / alpha_t;
     }
     for (node_index m : group.members) {
       require_model(plans.find(m) == plans.end(),
                     "ccf: event in more than one group");
-      plans.emplace(m, member_plan{q_k[1], {}});
+      plans.emplace(m, member_plan{scale_k[1], {}});
     }
     // One explicit event per subgroup of size >= 2.
     const auto total = std::size_t{1} << n;
@@ -111,14 +125,22 @@ fault_tree expand_ccf(const fault_tree& ft,
       }
       for (int i = 0; i < n; ++i) {
         if (mask >> i & 1U) {
-          plans.at(group.members[i]).shared.emplace_back(name, q_k[k]);
+          plans.at(group.members[i]).shared.push_back(
+              {name, scale_k[k], anchor});
         }
       }
     }
   }
 
-  // Rebuild the tree with members replaced by OR gates.
-  fault_tree out;
+  // Rebuild the tree with members replaced by OR gates, recording for
+  // every basic event where its probability comes from.
+  ccf_expansion out;
+  out.members_expanded = plans.size();
+  const auto record = [&out](node_index expanded, node_index source,
+                             double scale) {
+    if (out.trace.size() <= expanded) out.trace.resize(expanded + 1);
+    out.trace[expanded] = {source, scale};
+  };
   std::unordered_map<std::string, node_index> ccf_events;
   std::unordered_map<node_index, node_index> mapped;
   for (node_index i = 0; i < ft.size(); ++i) {
@@ -126,21 +148,29 @@ fault_tree expand_ccf(const fault_tree& ft,
     const auto& node = ft.node(i);
     auto plan = plans.find(i);
     if (plan == plans.end()) {
-      mapped.emplace(i, out.add_basic_event(node.name, node.probability));
+      const node_index e = out.tree.add_basic_event(node.name,
+                                                    node.probability);
+      record(e, i, 1.0);
+      mapped.emplace(i, e);
       continue;
     }
-    std::vector<node_index> inputs{
-        out.add_basic_event(node.name + "_I", plan->second.independent)};
-    for (const auto& [ccf_name, p] : plan->second.shared) {
-      auto it = ccf_events.find(ccf_name);
+    const node_index independent = out.tree.add_basic_event(
+        node.name + "_I", plan->second.independent_scale * node.probability);
+    record(independent, i, plan->second.independent_scale);
+    std::vector<node_index> inputs{independent};
+    for (const auto& ccf : plan->second.shared) {
+      auto it = ccf_events.find(ccf.name);
       if (it == ccf_events.end()) {
-        it = ccf_events.emplace(ccf_name, out.add_basic_event(ccf_name, p))
-                 .first;
+        const node_index e = out.tree.add_basic_event(
+            ccf.name, ccf.scale * ft.node(ccf.anchor).probability);
+        record(e, ccf.anchor, ccf.scale);
+        ++out.events_added;
+        it = ccf_events.emplace(ccf.name, e).first;
       }
       inputs.push_back(it->second);
     }
-    mapped.emplace(
-        i, out.add_gate(node.name + "_CCF", gate_type::or_gate, inputs));
+    mapped.emplace(i, out.tree.add_gate(node.name + "_CCF",
+                                        gate_type::or_gate, inputs));
   }
   for (node_index i : ft.topo_order()) {
     if (!ft.is_gate(i)) continue;
@@ -148,9 +178,14 @@ fault_tree expand_ccf(const fault_tree& ft,
     std::vector<node_index> inputs;
     inputs.reserve(node.inputs.size());
     for (node_index child : node.inputs) inputs.push_back(mapped.at(child));
-    mapped.emplace(i, out.add_gate(node.name, node.type, inputs));
+    const node_index g =
+        node.type == gate_type::atleast_gate
+            ? out.tree.add_atleast_gate(node.name, node.k, std::move(inputs))
+            : out.tree.add_gate(node.name, node.type, std::move(inputs));
+    mapped.emplace(i, g);
   }
-  if (ft.top() != fault_tree::npos) out.set_top(mapped.at(ft.top()));
+  if (ft.top() != fault_tree::npos) out.tree.set_top(mapped.at(ft.top()));
+  out.trace.resize(out.tree.size());
   return out;
 }
 

@@ -50,6 +50,37 @@ struct ccf_group {
 fault_tree expand_ccf(const fault_tree& ft,
                       const std::vector<ccf_group>& groups);
 
+/// Provenance of one basic event of the expanded tree: its probability is
+/// `scale * Q(source)`, where Q(source) is the total probability of the
+/// `source` basic event in the ORIGINAL tree. Both parametric models are
+/// linear in the group's common Q, so re-drawing Q (parameter-uncertainty
+/// sampling) re-derives every expanded probability exactly by multiplying
+/// the recorded coefficient — no re-expansion needed.
+struct ccf_trace_entry {
+  node_index source = fault_tree::npos;  ///< node of the original tree
+  double scale = 1.0;
+};
+
+/// expand_ccf() plus the per-event provenance trace the scenario engine's
+/// uncertainty propagation scales parameter draws through.
+struct ccf_expansion {
+  fault_tree tree;
+
+  /// Indexed by node_index of `tree`; meaningful for basic events only
+  /// (gate entries keep source == npos). Events untouched by expansion
+  /// trace to themselves with scale 1; a member's independent part traces
+  /// to the member; shared CCF events trace to the group's first member
+  /// (the models assume symmetric redundancy, so any member's Q works —
+  /// the choice only matters when members are sampled asymmetrically).
+  std::vector<ccf_trace_entry> trace;
+
+  std::size_t events_added = 0;       ///< explicit CCF basic events created
+  std::size_t members_expanded = 0;   ///< members replaced by OR gates
+};
+
+ccf_expansion expand_ccf_traced(const fault_tree& ft,
+                                const std::vector<ccf_group>& groups);
+
 /// Binomial coefficient used by the alpha-factor formula; exposed for
 /// tests.
 double binomial(int n, int k);

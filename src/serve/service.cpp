@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "engine/sweep.hpp"
+#include "etree/scenario.hpp"
 #include "obs/obs.hpp"
 #include "sdft/parser.hpp"
 #include "util/error.hpp"
@@ -67,6 +68,20 @@ void apply_backend_request(const json::value& root, analysis_options& opts) {
   }
 }
 
+void write_uq_band(json::writer& w, const uncertainty_band& band) {
+  w.key("uq")
+      .begin_object()
+      .key("mean")
+      .number(band.mean)
+      .key("p05")
+      .number(band.p05)
+      .key("p50")
+      .number(band.p50)
+      .key("p95")
+      .number(band.p95)
+      .end_object();
+}
+
 /// The per-result confidence-interval fields of an mc-backend response.
 void write_mc_fields(json::writer& w, const sim::mc_result& mc) {
   w.key("mc_method").string(sim::to_string(mc.method));
@@ -99,9 +114,50 @@ void analysis_service::load_text(const std::string& name,
                         parse_sd_fault_tree_string(text)));
 }
 
+void analysis_service::load_etree_file(const std::string& name,
+                                       const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw error("serve: cannot open scenario file '" + path + "'");
+  }
+  scenario_model model = parse_scenario(in);
+  scenario_options opts;
+  opts.analysis = engine_.options();
+  opts.analysis.inline_execution = true;
+  auto compiled = std::make_shared<scenario_engine>(std::move(model), opts);
+  std::unique_lock lock(models_mutex_);
+  scenarios_[name] = std::move(compiled);
+}
+
+void analysis_service::load_etree_text(const std::string& name,
+                                       const std::string& text) {
+  scenario_model model = parse_scenario_string(text);
+  scenario_options opts;
+  opts.analysis = engine_.options();
+  opts.analysis.inline_execution = true;
+  auto compiled = std::make_shared<scenario_engine>(std::move(model), opts);
+  std::unique_lock lock(models_mutex_);
+  scenarios_[name] = std::move(compiled);
+}
+
 std::size_t analysis_service::num_models() const {
   std::shared_lock lock(models_mutex_);
   return models_.size();
+}
+
+std::size_t analysis_service::num_scenarios() const {
+  std::shared_lock lock(models_mutex_);
+  return scenarios_.size();
+}
+
+std::shared_ptr<scenario_engine> analysis_service::scenario(
+    const std::string& name) const {
+  std::shared_lock lock(models_mutex_);
+  const auto it = scenarios_.find(name);
+  require_model(it != scenarios_.end(),
+                "serve: no scenario named '" + name +
+                    "' (load_etree it first)");
+  return it->second;
 }
 
 std::shared_ptr<const sd_fault_tree> analysis_service::model(
@@ -153,7 +209,7 @@ std::string analysis_service::handle(const std::string& line) {
     } else if (op == "unload") {
       const std::string& name = root.at("name").as_string();
       std::unique_lock lock(models_mutex_);
-      require_model(models_.erase(name) > 0,
+      require_model(models_.erase(name) + scenarios_.erase(name) > 0,
                     "serve: no model named '" + name + "'");
       w.key("model").string(name);
     } else if (op == "list") {
@@ -167,8 +223,103 @@ std::string analysis_service::handle(const std::string& line) {
             .integer(tree->structure().size())
             .end_object();
       }
+      w.end_array();
+      w.key("scenarios").begin_array();
+      for (const auto& [name, compiled] : scenarios_) {
+        w.begin_object()
+            .key("name")
+            .string(name)
+            .key("sequences")
+            .integer(compiled->compiled_event_tree().num_sequences())
+            .key("end_states")
+            .integer(compiled->end_state_names().size())
+            .end_object();
+      }
       lock.unlock();
       w.end_array();
+    } else if (op == "load_etree") {
+      const std::string& name = root.at("name").as_string();
+      if (root.contains("path")) {
+        load_etree_file(name, root.at("path").as_string());
+      } else if (root.contains("text")) {
+        load_etree_text(name, root.at("text").as_string());
+      } else {
+        throw error("serve: load_etree needs a 'path' or a 'text' field");
+      }
+      const auto compiled = scenario(name);
+      w.key("scenario").string(name);
+      w.key("sequences").integer(
+          compiled->compiled_event_tree().num_sequences());
+      w.key("end_states").integer(compiled->end_state_names().size());
+    } else if (op == "etree") {
+      const auto compiled = scenario(root.at("model").as_string());
+      if (root.contains("params") || root.contains("points")) {
+        // Point re-evaluation off the compiled scenario: the request
+        // carries the sweep grammar of engine/sweep.hpp.
+        const auto points = compiled->evaluate_points(parse_sweep_value(root));
+        w.key("end_state_names").begin_array();
+        for (const auto& es : compiled->end_state_names()) w.string(es);
+        w.end_array();
+        w.key("points").begin_array();
+        for (const auto& point : points) {
+          w.begin_object().key("label").string(point.label);
+          w.key("sequences").begin_array();
+          for (const double p : point.sequence_probabilities) w.number(p);
+          w.end_array();
+          w.key("end_states").begin_array();
+          for (const double p : point.end_state_probabilities) w.number(p);
+          w.end_array();
+          w.end_object();
+        }
+        w.end_array();
+      } else {
+        std::size_t uq_samples = 0;
+        std::uint64_t uq_seed = 1;
+        if (root.contains("uq_samples")) {
+          uq_samples =
+              static_cast<std::size_t>(root.at("uq_samples").as_number());
+        }
+        if (root.contains("uq_seed")) {
+          uq_seed = static_cast<std::uint64_t>(root.at("uq_seed").as_number());
+        }
+        const scenario_result result = compiled->run(uq_samples, uq_seed);
+        w.key("initiating_probability").number(result.initiating_probability);
+        w.key("sequences").begin_array();
+        for (const auto& s : result.sequences) {
+          w.begin_object()
+              .key("label")
+              .string(s.label)
+              .key("end_state")
+              .string(s.end_state)
+              .key("probability")
+              .number(s.probability)
+              .key("mcs_probability")
+              .number(s.mcs_probability)
+              .key("cutsets")
+              .integer(s.num_cutsets);
+          if (uq_samples > 0) write_uq_band(w, s.uq);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("end_states").begin_array();
+        for (const auto& e : result.end_states) {
+          w.begin_object()
+              .key("name")
+              .string(e.name)
+              .key("sequences")
+              .integer(e.num_sequences)
+              .key("probability")
+              .number(e.probability)
+              .key("mcs_probability")
+              .number(e.mcs_probability)
+              .key("cutsets")
+              .integer(e.num_cutsets);
+          if (uq_samples > 0) write_uq_band(w, e.uq);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("seconds").number(result.stats.scenario_total_seconds);
+      }
     } else if (op == "analyze") {
       const auto tree = model(root.at("model").as_string());
       analysis_options opts = engine_.options();
@@ -242,6 +393,7 @@ std::string analysis_service::handle(const std::string& line) {
     } else if (op == "health") {
       w.key("status").string("ok");
       w.key("models").integer(num_models());
+      w.key("scenarios").integer(num_scenarios());
       w.key("requests").integer(requests());
       w.key("errors").integer(errors());
       w.key("uptime_seconds").number(uptime_.seconds());

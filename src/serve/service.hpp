@@ -8,6 +8,7 @@
 #include <string>
 
 #include "engine/engine.hpp"
+#include "engine/scenario.hpp"
 #include "util/stopwatch.hpp"
 
 namespace sdft::serve {
@@ -29,6 +30,10 @@ namespace sdft::serve {
 ///    "overrides":{"PUMP":0.01},"exact_static":true}
 ///   {"op":"sweep","model":"m","params":[{"name":"PUMP","lo":1e-4,
 ///    "hi":1e-2,"n":8,"scale":"log"}]}                    (or "points")
+///   {"op":"load_etree","name":"s","path":"data/plant.etree"}  (or "text")
+///   {"op":"etree","model":"s","uq_samples":1000,"uq_seed":7}
+///   {"op":"etree","model":"s","params":[...]}            point re-eval
+///                                                        (or "points")
 ///   {"op":"health"}
 ///   {"op":"stats"}                                        metrics dump
 ///   {"op":"shutdown"}
@@ -47,6 +52,11 @@ class analysis_service {
   void load_file(const std::string& name, const std::string& path);
   void load_text(const std::string& name, const std::string& text);
 
+  /// Registers a scenario (event-tree) model: parsed and compiled once,
+  /// then every `etree` request re-quantifies off the compiled structure.
+  void load_etree_file(const std::string& name, const std::string& path);
+  void load_etree_text(const std::string& name, const std::string& text);
+
   /// Handles one request line, returns the response (no newline).
   std::string handle(const std::string& line);
 
@@ -56,6 +66,7 @@ class analysis_service {
   }
 
   std::size_t num_models() const;
+  std::size_t num_scenarios() const;
   std::size_t requests() const {
     return requests_.load(std::memory_order_relaxed);
   }
@@ -69,10 +80,15 @@ class analysis_service {
   std::shared_ptr<const sd_fault_tree> model(const std::string& name) const;
   void store_model(const std::string& name,
                    std::shared_ptr<const sd_fault_tree> tree);
+  std::shared_ptr<scenario_engine> scenario(const std::string& name) const;
 
   analysis_engine engine_;
   mutable std::shared_mutex models_mutex_;
   std::map<std::string, std::shared_ptr<const sd_fault_tree>> models_;
+
+  /// Compiled scenarios, under the same lock. run()/evaluate_points() only
+  /// read the compiled structure, so concurrent requests share an entry.
+  std::map<std::string, std::shared_ptr<scenario_engine>> scenarios_;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::size_t> requests_{0};
   std::atomic<std::size_t> errors_{0};

@@ -65,6 +65,78 @@ TEST(EventTree, ValidationCatchesMistakes) {
   EXPECT_THROW(et.validate(), model_error);  // duplicate outcomes
 }
 
+TEST(EventTree, ExactEntryPointsValidateFirst) {
+  // The *_exact entry points must run the full validation themselves: an
+  // event tree with duplicate sequence outcomes used to sail straight into
+  // compilation and return a number for a malformed model.
+  fault_tree ft;
+  const node_index b = ft.add_basic_event("b", 0.1);
+  const node_index g = ft.add_gate("g", gate_type::or_gate, {b});
+  ft.set_top(g);
+  event_tree et(ft, b);
+  et.add_functional_event("F", g);
+  et.add_sequence({branch_outcome::failure}, "CD");
+  et.add_sequence({branch_outcome::failure}, "CD2");  // duplicate outcomes
+  EXPECT_THROW(sequence_probability_exact(et, 0), model_error);
+  EXPECT_THROW(end_state_probability_exact(et, "CD"), model_error);
+  EXPECT_THROW(end_state_fault_tree(et, "CD"), model_error);
+}
+
+TEST(EventTree, AtleastFunctionalEventIsExact) {
+  // Regression: et_bdd::compile used to lower atleast gates as plain ORs,
+  // corrupting every sequence probability under a k-of-n functional event.
+  // A 2-of-3 vote separates the two readings decisively: P(>=2 of 3) =
+  // 0.098 here, while the OR reading gives 1 - 0.9*0.8*0.7 = 0.496.
+  fault_tree ft;
+  const node_index ie = ft.add_basic_event("IE", 0.5);
+  const node_index a = ft.add_basic_event("A", 0.1);
+  const node_index b = ft.add_basic_event("B", 0.2);
+  const node_index c = ft.add_basic_event("C", 0.3);
+  const node_index vote = ft.add_atleast_gate("VOTE", 2, {a, b, c});
+  ft.set_top(vote);
+
+  event_tree et(ft, ie, "V");
+  et.add_functional_event("V", vote);
+  et.add_sequence({branch_outcome::failure}, "CD");
+  et.add_sequence({branch_outcome::success}, "OK");
+
+  const double p2of3 = 0.1 * 0.2 * 0.7 + 0.1 * 0.8 * 0.3 + 0.9 * 0.2 * 0.3 +
+                       0.1 * 0.2 * 0.3;
+  EXPECT_NEAR(sequence_probability_exact(et, 0), 0.5 * p2of3, 1e-15);
+  // The negated branch must be exact too (1 - p over the same BDD).
+  EXPECT_NEAR(sequence_probability_exact(et, 1), 0.5 * (1.0 - p2of3), 1e-15);
+  EXPECT_NEAR(end_state_probability_exact(et, "CD") +
+                  end_state_probability_exact(et, "OK"),
+              0.5, 1e-15);
+}
+
+TEST(EventTree, EndStateFaultTreeDedupsSynthesizedNames) {
+  // Regression: a model that already contains nodes named like the
+  // synthesized sequence/top gates ("<et>::SEQ<k>", "<et>::<end state>")
+  // used to make end_state_fault_tree emit duplicate names.
+  fault_tree ft;
+  const node_index ie = ft.add_basic_event("IE", 1e-2);
+  const node_index trap_seq = ft.add_basic_event("ET::SEQ0", 1e-3);
+  const node_index trap_top = ft.add_basic_event("ET::CD", 2e-3);
+  const node_index g =
+      ft.add_gate("G_F", gate_type::or_gate, {trap_seq, trap_top});
+  ft.set_top(ft.add_gate("ANY", gate_type::or_gate, {g}));
+
+  event_tree et(ft, ie, "ET");
+  et.add_functional_event("G", g);
+  et.add_sequence({branch_outcome::failure}, "CD");
+
+  const fault_tree cd = end_state_fault_tree(et, "CD");
+  // The pre-existing events keep their names; the synthesized gates moved
+  // to deduplicated ones — and the result still validates and quantifies.
+  EXPECT_NE(cd.find("ET::SEQ0"), fault_tree::npos);
+  EXPECT_TRUE(cd.is_basic(cd.find("ET::SEQ0")));
+  EXPECT_NE(cd.find("ET::SEQ0#2"), fault_tree::npos);
+  EXPECT_NE(cd.find("ET::CD#2"), fault_tree::npos);
+  const double p_or = 1.0 - (1.0 - 1e-3) * (1.0 - 2e-3);
+  EXPECT_NEAR(cd.probability_brute_force(), 1e-2 * p_or, 1e-15);
+}
+
 TEST(EventTree, SequenceProbabilityExact) {
   const et_fixture fx;
   // P(CD sequence) = p(IE) * P(HP_F and LP_F), with the shared signal

@@ -6,6 +6,7 @@
 //   obs_check trace <trace.json>          validate a --trace-json file
 //   obs_check metrics <metrics.json>      validate a --metrics-json file
 //   obs_check bench-serve <BENCH.json>    validate a bench_serve artifact
+//   obs_check bench-etree <BENCH.json>    validate a bench_etree artifact
 //   obs_check bench-mc <BENCH_mc.json>    validate a bench_mc artifact
 //
 // Trace checks: well-formed JSON, a traceEvents array whose "X" events have
@@ -16,6 +17,9 @@
 // Bench-serve checks: the ISSUE acceptance thresholds — the batched sweep
 // bit-identical to its one-shots and at least 5x faster, with every point a
 // structure-cache hit.
+// Bench-etree checks: the one-pass scenario engine bit-identical to
+// per-sequence one-shots and across thread counts, >= 3x faster, with the
+// shared compilation covering every functional-event gate.
 // Bench-mc checks: crude MC empty at the shared budget while forcing and
 // splitting both bracket the exact-static answer with a >= 10x relative
 // error improvement over crude.
@@ -124,6 +128,16 @@ int check_metrics(const std::string& path) {
       "mocus.steals",             "mocus.occupancy",
       "quant.tasks",              "quant.steals",
       "pool.occupancy",
+      "scenario.compile_seconds", "scenario.quantify_seconds",
+      "scenario.cutset_seconds",  "scenario.total_seconds",
+      "scenario.sequences",       "scenario.end_states",
+      "scenario.functional_events", "scenario.bdd_nodes",
+      "scenario.gates_compiled",  "scenario.prefix_hits",
+      "scenario.sequence_cutsets",
+      "ccf.groups",               "ccf.events_added",
+      "ccf.members_expanded",
+      "uq.seconds",               "uq.samples",
+      "uq.parameters",
       "mc.seconds",               "mc.trajectories",
       "mc.failures",              "mc.levels",
       "mc.replications",          "mc.estimate",
@@ -157,6 +171,29 @@ int check_bench_serve(const std::string& path) {
   doc.at("serve").at("warm_mean_seconds").as_number();
   std::printf("bench-serve ok: %.0f points, %.1fx speedup, bit-identical\n",
               points, speedup);
+  return 0;
+}
+
+int check_bench_etree(const std::string& path) {
+  const value doc = sdft::json::parse(slurp(path));
+  check(doc.at("bit_identical").as_bool(),
+        "one-pass sequence probabilities are not bit-identical to "
+        "per-sequence one-shots");
+  check(doc.at("thread_identical").as_bool(),
+        "one-pass results differ across thread counts");
+  const double sequences = doc.at("etree").at("sequences").as_number();
+  check(sequences >= 16.0, "event tree has fewer than 16 sequences");
+  const double compiled = doc.at("etree").at("gates_compiled").as_number();
+  const double functional =
+      doc.at("etree").at("functional_events").as_number();
+  check(compiled >= functional,
+        "shared compilation did not cover every functional-event gate");
+  const double speedup = doc.at("speedup").as_number();
+  check(speedup >= 3.0, "one-pass speedup " + std::to_string(speedup) +
+                            "x is below the 3x acceptance threshold");
+  std::printf(
+      "bench-etree ok: %.0f sequences, %.1fx speedup, bit-identical\n",
+      sequences, speedup);
   return 0;
 }
 
@@ -236,7 +273,8 @@ int main(int argc, char** argv) {
   if (argc != 3) {
     std::fprintf(
         stderr,
-        "usage: obs_check <trace|metrics|bench-serve|bench-mc> <file>\n");
+        "usage: obs_check <trace|metrics|bench-serve|bench-etree|bench-mc> "
+        "<file>\n");
     return 2;
   }
   try {
@@ -244,6 +282,7 @@ int main(int argc, char** argv) {
     if (mode == "trace") return check_trace(argv[2]);
     if (mode == "metrics") return check_metrics(argv[2]);
     if (mode == "bench-serve") return check_bench_serve(argv[2]);
+    if (mode == "bench-etree") return check_bench_etree(argv[2]);
     if (mode == "bench-mc") return check_bench_mc(argv[2]);
     std::fprintf(stderr, "obs_check: unknown mode '%s'\n", mode.c_str());
     return 2;

@@ -10,6 +10,11 @@
 //   sdft sweep <file> [options]        batched parameter sweep over one
 //                                      cached structure (--sweep-param /
 //                                      --sweep-spec)
+//   sdft etree <file> [options]        one-pass event-tree scenario
+//                                      quantification (sequences, end
+//                                      states, CCF, --uq-samples bands;
+//                                      --sweep-* re-evaluates points off
+//                                      the compiled scenario)
 //   sdft serve [<file>] [options]      resident NDJSON analysis service
 //                                      (--stdio default, or --port N;
 //                                      preload models with --model)
@@ -32,6 +37,8 @@
 //          --struct-cache-entries N / --quant-cache-entries N (LRU bounds),
 //          --sweep-param NAME=lo:hi:N[:log|:linear] (repeatable; the grid
 //          is the cartesian product), --sweep-spec FILE (JSON spec),
+//          --uq-samples N (etree parameter-uncertainty samples; seeded by
+//          --seed, bit-identical at any thread count),
 //          --port N / --stdio / --model name=path (serve transports),
 //          --trace-json FILE (Chrome trace_event spans of the run),
 //          --metrics-json FILE (obs metric registry dump; see DESIGN.md §11).
@@ -55,7 +62,9 @@
 
 #include "bdd/ft_bdd.hpp"
 #include "engine/engine.hpp"
+#include "engine/scenario.hpp"
 #include "engine/sweep.hpp"
+#include "etree/scenario.hpp"
 #include "serve/service.hpp"
 #include "serve/transport.hpp"
 #include "core/risk_measures.hpp"
@@ -109,9 +118,13 @@ struct cli_options {
   std::size_t struct_cache_entries = structure_cache::default_capacity;
   std::size_t quant_cache_entries = quantification_cache::default_capacity;
 
-  // sweep command inputs.
+  // sweep command inputs (also accepted by etree: points re-evaluated
+  // off the compiled scenario).
   std::vector<std::string> sweep_params;  ///< NAME=lo:hi:N[:scale] axes
   std::string sweep_spec;                 ///< JSON spec file
+
+  // etree command inputs.
+  std::size_t uq_samples = 0;  ///< parameter-uncertainty samples (0: off)
 
   // serve command transports.
   int port = -1;          ///< TCP port (-1: not requested; 0: ephemeral)
@@ -122,7 +135,7 @@ struct cli_options {
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: sdft <static|simulate|export|import|mcs|analyze|exact|importance|classify|convert|sweep|serve> "
+      "usage: sdft <static|simulate|export|import|mcs|analyze|exact|importance|classify|convert|sweep|etree|serve> "
       "<file>\n"
       "            [--horizon H] [--cutoff C] [--threads N]\n"
       "            [--mode exact|under|over] [--top K] [--details]\n"
@@ -138,6 +151,7 @@ struct cli_options {
       "            [--quant-cache-entries N]\n"
       "            [--sweep-param NAME=lo:hi:N[:log|:linear]] "
       "[--sweep-spec FILE]\n"
+      "            [--uq-samples N]\n"
       "            [--port N | --stdio] [--model name=path]\n"
       "            [--trace-json FILE] [--metrics-json FILE]\n");
   std::exit(2);
@@ -233,6 +247,8 @@ cli_options parse_args(int argc, char** argv) {
       opt.sweep_params.push_back(next());
     } else if (arg == "--sweep-spec") {
       opt.sweep_spec = next();
+    } else if (arg == "--uq-samples") {
+      opt.uq_samples = std::stoul(next());
     } else if (arg == "--port") {
       opt.port = std::stoi(next());
       if (opt.port < 0 || opt.port > 65535) {
@@ -267,18 +283,23 @@ cli_options parse_args(int argc, char** argv) {
   // only compose with their own commands; transports are exclusive.
   const bool sweep_flags =
       !opt.sweep_params.empty() || !opt.sweep_spec.empty();
-  if (sweep_flags && opt.command != "sweep") {
-    usage_error("--sweep-param/--sweep-spec apply to the 'sweep' command");
+  if (sweep_flags && opt.command != "sweep" && opt.command != "etree") {
+    usage_error(
+        "--sweep-param/--sweep-spec apply to the 'sweep' and 'etree' "
+        "commands");
   }
-  if (opt.command == "sweep") {
+  if (opt.command == "sweep" || sweep_flags) {
     if (!opt.sweep_params.empty() && !opt.sweep_spec.empty()) {
       usage_error(
           "give either --sweep-param axes or one --sweep-spec file, "
           "not both");
     }
-    if (!sweep_flags) {
-      usage_error("sweep needs --sweep-param axes or a --sweep-spec file");
-    }
+  }
+  if (opt.command == "sweep" && !sweep_flags) {
+    usage_error("sweep needs --sweep-param axes or a --sweep-spec file");
+  }
+  if (opt.uq_samples > 0 && opt.command != "etree") {
+    usage_error("--uq-samples applies to the 'etree' command");
   }
   const bool serve_flags =
       opt.port >= 0 || opt.use_stdio || !opt.models.empty();
@@ -728,6 +749,167 @@ int cmd_sweep(const cli_options& opt) {
   return 0;
 }
 
+void print_scenario_stats(const engine_stats& s) {
+  text_table table({"stage / counter", "value"});
+  table.add_row(
+      {"compile (CCF + BDD)", duration_str(s.scenario_compile_seconds)});
+  table.add_row({"quantify", duration_str(s.scenario_quantify_seconds)});
+  table.add_row({"cutsets", duration_str(s.scenario_cutset_seconds)});
+  if (s.uq_samples > 0) table.add_row({"uq", duration_str(s.uq_seconds)});
+  table.add_row({"total", duration_str(s.scenario_total_seconds)});
+  table.add_row({"sequences / end states",
+                 std::to_string(s.scenario_sequences) + " / " +
+                     std::to_string(s.scenario_end_states)});
+  table.add_row(
+      {"functional events", std::to_string(s.scenario_functional_events)});
+  table.add_row({"bdd nodes (shared)", std::to_string(s.scenario_bdd_nodes)});
+  table.add_row({"gates compiled / prefix hits",
+                 std::to_string(s.scenario_gates_compiled) + " / " +
+                     std::to_string(s.scenario_prefix_hits)});
+  table.add_row({"ccf groups",
+                 std::to_string(s.ccf_groups) + " (" +
+                     std::to_string(s.ccf_events_added) + " events added, " +
+                     std::to_string(s.ccf_members_expanded) +
+                     " members expanded)"});
+  table.add_row(
+      {"sequence cutsets", std::to_string(s.scenario_sequence_cutsets)});
+  if (s.uq_samples > 0) {
+    table.add_row({"uq samples x parameters",
+                   std::to_string(s.uq_samples) + " x " +
+                       std::to_string(s.uq_parameters)});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+int cmd_etree(const cli_options& opt) {
+  std::ifstream in(opt.file);
+  if (!in) throw error("cannot open '" + opt.file + "'");
+  scenario_model model = parse_scenario(in);
+
+  scenario_options sopts;
+  sopts.analysis = make_analysis_options(opt);
+  sopts.uq_samples = opt.uq_samples;
+  sopts.uq_seed = opt.seed;
+
+  scenario_engine engine(std::move(model), sopts);
+  const scenario_result result = engine.run();
+  const scenario_description& sc = engine.model().scenario;
+  const bool with_mcs = sopts.quantify_cutsets &&
+                        opt.backend != cutset_backend::mc;
+  const bool with_uq = opt.uq_samples > 0;
+
+  std::printf(
+      "event tree '%s': %zu functional events, %zu sequences, "
+      "%zu end states\n",
+      sc.name.c_str(), sc.functional.size(), result.sequences.size(),
+      result.end_states.size());
+  std::printf("initiating event %s: p = %s\n", sc.initiating_event.c_str(),
+              sci(result.initiating_probability).c_str());
+
+  std::vector<std::string> seq_header{"sequence", "end state", "p (exact)"};
+  if (with_mcs) {
+    seq_header.push_back("p (MCS)");
+    seq_header.push_back("cutsets");
+  }
+  if (with_uq) {
+    seq_header.push_back("p05");
+    seq_header.push_back("p50");
+    seq_header.push_back("p95");
+  }
+  text_table seq_table(seq_header);
+  for (const auto& s : result.sequences) {
+    std::vector<std::string> row{s.label, s.end_state, sci(s.probability)};
+    if (with_mcs) {
+      row.push_back(sci(s.mcs_probability));
+      row.push_back(std::to_string(s.num_cutsets));
+    }
+    if (with_uq) {
+      row.push_back(sci(s.uq.p05));
+      row.push_back(sci(s.uq.p50));
+      row.push_back(sci(s.uq.p95));
+    }
+    seq_table.add_row(row);
+  }
+  std::printf("%s", seq_table.str().c_str());
+
+  std::vector<std::string> es_header{"end state", "sequences", "p (exact)"};
+  if (with_mcs) {
+    es_header.push_back("p (MCS)");
+    es_header.push_back("cutsets");
+  }
+  if (with_uq) {
+    es_header.push_back("p05");
+    es_header.push_back("p50");
+    es_header.push_back("p95");
+  }
+  text_table es_table(es_header);
+  for (const auto& e : result.end_states) {
+    std::vector<std::string> row{e.name, std::to_string(e.num_sequences),
+                                 sci(e.probability)};
+    if (with_mcs) {
+      row.push_back(sci(e.mcs_probability));
+      row.push_back(std::to_string(e.num_cutsets));
+    }
+    if (with_uq) {
+      row.push_back(sci(e.uq.p05));
+      row.push_back(sci(e.uq.p50));
+      row.push_back(sci(e.uq.p95));
+    }
+    es_table.add_row(row);
+  }
+  std::printf("%s", es_table.str().c_str());
+  if (with_uq) {
+    std::printf("uq: %zu samples over %zu parameters (seed %llu)\n",
+                result.stats.uq_samples, result.stats.uq_parameters,
+                static_cast<unsigned long long>(opt.seed));
+  }
+
+  // Parameter points: re-evaluated off the compiled scenario, one row per
+  // point with the exact end-state probabilities.
+  if (!opt.sweep_params.empty() || !opt.sweep_spec.empty()) {
+    sweep_description description;
+    try {
+      if (!opt.sweep_spec.empty()) {
+        std::ifstream spec_in(opt.sweep_spec);
+        if (!spec_in) {
+          usage_error("cannot open sweep spec '" + opt.sweep_spec + "'");
+        }
+        std::ostringstream text;
+        text << spec_in.rdbuf();
+        description = parse_sweep_json(text.str());
+      } else {
+        description = parse_sweep_ranges(opt.sweep_params);
+      }
+    } catch (const model_error&) {
+      throw;
+    } catch (const error& e) {
+      usage_error(e.what());
+    }
+    const auto points = engine.evaluate_points(description);
+    std::vector<std::string> header{"point"};
+    for (const auto& es : engine.end_state_names()) header.push_back(es);
+    text_table point_table(header);
+    for (std::size_t i = 0; i < points.size() && i < opt.top; ++i) {
+      std::vector<std::string> row{points[i].label};
+      for (const double p : points[i].end_state_probabilities) {
+        row.push_back(sci(p));
+      }
+      point_table.add_row(row);
+    }
+    std::printf("%s", point_table.str().c_str());
+    if (points.size() > opt.top) {
+      std::printf("... %zu more points (--top to widen)\n",
+                  points.size() - opt.top);
+    }
+  }
+
+  if (opt.stats) {
+    print_scenario_stats(result.stats);
+    if (with_mcs) print_engine_stats(result.stats);
+  }
+  return 0;
+}
+
 int cmd_serve(const cli_options& opt) {
   serve::analysis_service service(make_analysis_options(opt));
   if (!opt.file.empty()) service.load_file("default", opt.file);
@@ -760,6 +942,7 @@ int dispatch(const cli_options& opt) {
   if (opt.command == "import") return cmd_import(opt);
   if (opt.command == "uncertainty") return cmd_uncertainty(opt);
   if (opt.command == "sweep") return cmd_sweep(opt);
+  if (opt.command == "etree") return cmd_etree(opt);
   if (opt.command == "serve") return cmd_serve(opt);
   usage();
 }
